@@ -1,0 +1,194 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation varies one mechanism and asserts the direction of the
+effect, quantifying the contribution of that mechanism to the headline
+results:
+
+* list I/O request bound (16 / 64 / 256 regions per request);
+* datatype I/O full-featured (direct dataloop) mode vs the prototype's
+  list materialization — the paper's PVFS2 forecast;
+* partial-processing batch size (server memory bound vs speed);
+* collective buffer size for two-phase;
+* request wire size: dataloop vs offset-length lists.
+"""
+
+import pytest
+
+from repro.bench import Block3DWorkload, TileWorkload, run_workload
+from repro.datatypes import INT, subarray
+from repro.dataloops import build_dataloop, wire_size
+from repro.pvfs import PVFSConfig
+from repro.mpiio import Hints
+
+
+def _tile(**cfg_overrides):
+    return (
+        TileWorkload.paper(frames=1),
+        PVFSConfig(**cfg_overrides) if cfg_overrides else None,
+    )
+
+
+@pytest.mark.parametrize("bound", [16, 64, 256])
+def bench_listio_request_bound(benchmark, bound):
+    """Smaller bounds → more list I/O operations → lower bandwidth."""
+    wl, cfg = _tile(list_io_max_regions=bound)
+    r = benchmark.pedantic(
+        run_workload,
+        args=(wl, "list_io"),
+        kwargs={"phantom": True, "config": cfg},
+        rounds=1,
+        iterations=1,
+    )
+    assert r.io_ops == -(-768 // bound)
+    benchmark.extra_info["ops"] = r.io_ops
+    benchmark.extra_info["bandwidth_mbps"] = round(r.bandwidth_mbps, 2)
+
+
+def bench_listio_bound_direction(benchmark):
+    """The op count, and hence time, is monotone in the bound."""
+
+    def sweep():
+        out = {}
+        for bound in (16, 64, 256):
+            wl, cfg = _tile(list_io_max_regions=bound)
+            out[bound] = run_workload(wl, "list_io", phantom=True, config=cfg)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert results[16].io_ops > results[64].io_ops > results[256].io_ops
+    assert (
+        results[16].bandwidth_mbps
+        < results[64].bandwidth_mbps
+        <= results[256].bandwidth_mbps * 1.02
+    )
+
+
+def bench_direct_dataloop_mode(benchmark):
+    """PVFS2-style servers (no list materialization) are faster —
+    the paper's §5 forecast, especially on the read path."""
+    wl = Block3DWorkload(grid=300, clients_per_dim=4, is_write=False)
+    direct = benchmark.pedantic(
+        run_workload,
+        args=(wl, "datatype_io"),
+        kwargs={
+            "phantom": True,
+            "config": PVFSConfig(direct_dataloop=True),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    proto = run_workload(
+        Block3DWorkload(grid=300, clients_per_dim=4, is_write=False),
+        "datatype_io",
+        phantom=True,
+    )
+    assert direct.bandwidth_mbps > proto.bandwidth_mbps
+    benchmark.extra_info["speedup"] = round(
+        direct.bandwidth_mbps / proto.bandwidth_mbps, 3
+    )
+
+
+@pytest.mark.parametrize("batch", [256, 4096, 65536])
+def bench_partial_processing_batch(benchmark, batch):
+    """Batch size bounds server memory; results must be identical."""
+    wl, _ = _tile()
+    r = benchmark.pedantic(
+        run_workload,
+        args=(wl, "datatype_io"),
+        kwargs={
+            "phantom": True,
+            "config": PVFSConfig(dataloop_batch_regions=batch),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    assert r.io_ops == 1
+    assert r.accessed_bytes == r.desired_bytes
+
+
+@pytest.mark.parametrize("mib", [1, 4, 16])
+def bench_twophase_buffer_size(benchmark, mib):
+    """Bigger collective buffers → fewer rounds → fewer FS ops."""
+    wl = Block3DWorkload(grid=300, clients_per_dim=2, is_write=True)
+    hints = Hints(cb_buffer_size=mib * 1024 * 1024)
+    r = benchmark.pedantic(
+        run_workload,
+        args=(wl, "two_phase"),
+        kwargs={"phantom": True, "hints": hints},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["ops"] = r.io_ops
+    benchmark.extra_info["bandwidth_mbps"] = round(r.bandwidth_mbps, 2)
+    span = (300 // 2) ** 3 * 4  # bytes per aggregator domain
+    assert r.io_ops == -(-span // (mib * 1024 * 1024))
+
+
+def bench_request_wire_size_dataloop_vs_list(benchmark):
+    """§2.4 vs §3: request description sizes for the 3-D block access."""
+
+    def measure():
+        t = subarray([600, 600, 600], [150, 150, 150], [0, 0, 0], INT)
+        loop = build_dataloop(t)
+        dataloop_bytes = wire_size(loop)
+        list_bytes = t.flatten().count * 12  # offset-length pairs
+        return dataloop_bytes, list_bytes
+
+    dataloop_bytes, list_bytes = benchmark(measure)
+    assert dataloop_bytes < 200
+    assert list_bytes == 22_500 * 12
+    assert list_bytes / dataloop_bytes > 1000
+
+
+def bench_datatype_cache(benchmark):
+    """§5 datatype caching: repeated same-type operations get cheaper.
+
+    The tile reader re-uses one filetype for 100 frames; caching removes
+    the per-operation reconversion and re-expansion and shrinks requests
+    to registered handles.
+    """
+    wl = TileWorkload.paper(frames=5)
+    cached = benchmark.pedantic(
+        run_workload,
+        args=(wl, "datatype_io"),
+        kwargs={"phantom": True, "config": PVFSConfig(datatype_cache=True)},
+        rounds=1,
+        iterations=1,
+    )
+    plain = run_workload(
+        TileWorkload.paper(frames=5), "datatype_io", phantom=True
+    )
+    assert cached.bandwidth_mbps >= plain.bandwidth_mbps
+    assert cached.request_desc_bytes < plain.request_desc_bytes
+    benchmark.extra_info["wire_saving"] = round(
+        1 - cached.request_desc_bytes / plain.request_desc_bytes, 3
+    )
+
+
+def bench_twophase_sparse_method(benchmark):
+    """§5 datatype I/O underneath two-phase: holey aggregator rounds
+    skip the read-modify-write."""
+    from repro.bench.workloads import FlashWorkload
+
+    wl = FlashWorkload(n_clients=4, nblocks=8, nxb=4, nguard=2, nvar=4)
+    # make it sparse by doubling the displacement stride (gaps between
+    # ranks' sections)
+    orig_disp = wl.displacement
+    wl.displacement = lambda rank, rep: 2 * orig_disp(rank, rep)
+
+    r_dtype = benchmark.pedantic(
+        run_workload,
+        args=(wl, "two_phase"),
+        kwargs={"phantom": True, "hints": Hints(tp_sparse_method="datatype_io")},
+        rounds=1,
+        iterations=1,
+    )
+    wl2 = FlashWorkload(n_clients=4, nblocks=8, nxb=4, nguard=2, nvar=4)
+    orig2 = wl2.displacement
+    wl2.displacement = lambda rank, rep: 2 * orig2(rank, rep)
+    r_rmw = run_workload(wl2, "two_phase", phantom=True)
+    # sparse path never reads gaps back: strictly less data accessed
+    assert r_dtype.accessed_bytes <= r_rmw.accessed_bytes
+    benchmark.extra_info["accessed_ratio"] = round(
+        r_dtype.accessed_bytes / max(r_rmw.accessed_bytes, 1), 3
+    )

@@ -1,0 +1,100 @@
+"""E4 (Figure 10): 3-D block read/write bandwidth vs client count.
+
+Shape claims asserted (paper §4.3):
+
+* datatype I/O is the clear winner; its write peak is well above the
+  next-best method ("more than double" in the paper; ≥1.5× here);
+* the datatype *read* curve stops scaling at high client counts
+  (server-side offset–length list processing), while the *write* curve
+  keeps rising (sink-side buffering hides the processing);
+* POSIX is orders of magnitude below everything.
+
+Runs use a reduced grid (300³) for wall-clock reasons; the decomposition
+and all ratios behave like the 600³ runs recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.bench import Block3DWorkload, run_workload
+
+GRID = 300
+METHODS = ["two_phase", "list_io", "datatype_io"]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    out = {}
+    for is_write in (False, True):
+        for cpd in (2, 3, 4):
+            for m in METHODS:
+                wl = Block3DWorkload(
+                    grid=GRID, clients_per_dim=cpd, is_write=is_write
+                )
+                out[(is_write, cpd ** 3, m)] = run_workload(
+                    wl, m, phantom=True
+                )
+    return out
+
+
+def bench_fig10_write_peak(benchmark, sweep, paper_claims):
+    wl = Block3DWorkload(grid=GRID, clients_per_dim=4, is_write=True)
+    r = benchmark.pedantic(
+        run_workload, args=(wl, "datatype_io"), kwargs={"phantom": True},
+        rounds=1, iterations=1,
+    )
+    peak_dtype = max(
+        sweep[(True, n, "datatype_io")].bandwidth_mbps for n in (8, 27, 64)
+    )
+    peak_others = max(
+        sweep[(True, n, m)].bandwidth_mbps
+        for n in (8, 27, 64)
+        for m in METHODS
+        if m != "datatype_io"
+    )
+    assert peak_dtype / peak_others >= paper_claims["block3d_peak_ratio_min"]
+    assert r.io_ops == 1
+
+
+def bench_fig10_read_decline(benchmark, sweep):
+    """Datatype read stops scaling 27→64 clients; write keeps rising."""
+    wl = Block3DWorkload(grid=GRID, clients_per_dim=4, is_write=False)
+    benchmark.pedantic(
+        run_workload, args=(wl, "datatype_io"), kwargs={"phantom": True},
+        rounds=1, iterations=1,
+    )
+    read_27 = sweep[(False, 27, "datatype_io")].bandwidth_mbps
+    read_64 = sweep[(False, 64, "datatype_io")].bandwidth_mbps
+    write_27 = sweep[(True, 27, "datatype_io")].bandwidth_mbps
+    write_64 = sweep[(True, 64, "datatype_io")].bandwidth_mbps
+    read_scaling = read_64 / read_27
+    write_scaling = write_64 / write_27
+    assert write_scaling > read_scaling
+    assert read_scaling < 1.25  # the stall
+    assert write_64 > read_64  # sink-side processing is hidden
+
+
+def bench_fig10_datatype_beats_list_everywhere(benchmark, sweep):
+    wl = Block3DWorkload(grid=GRID, clients_per_dim=3, is_write=True)
+    benchmark.pedantic(
+        run_workload, args=(wl, "list_io"), kwargs={"phantom": True},
+        rounds=1, iterations=1,
+    )
+    for is_write in (False, True):
+        for n in (27, 64):
+            assert (
+                sweep[(is_write, n, "datatype_io")].bandwidth_mbps
+                > sweep[(is_write, n, "list_io")].bandwidth_mbps
+            ), (is_write, n)
+
+
+def bench_fig10_posix(benchmark, sweep):
+    wl = Block3DWorkload(grid=GRID, clients_per_dim=2, is_write=False)
+    r = benchmark.pedantic(
+        run_workload, args=(wl, "posix"), kwargs={"phantom": True},
+        rounds=1, iterations=1,
+    )
+    assert r.io_ops == (GRID // 2) ** 2
+    assert (
+        r.bandwidth_mbps
+        < 0.15 * sweep[(False, 8, "datatype_io")].bandwidth_mbps
+    )

@@ -1,0 +1,90 @@
+"""Micro-benchmarks of the datatype/dataloop engine (paper §3.2).
+
+These measure the reproduction's own processing costs: datatype →
+dataloop conversion, dataloop stream expansion (the server-side path),
+full flattening, and wire encoding.
+"""
+
+import pytest
+
+from repro.datatypes import INT, subarray, vector
+from repro.dataloops import (
+    DataloopStream,
+    build_dataloop,
+    dumps,
+    loads,
+    stream_regions,
+)
+
+BLOCK_3D = subarray([600, 600, 600], [150, 150, 150], [0, 0, 0], INT)
+VECTOR_BIG = vector(100_000, 2, 5, INT)
+
+
+@pytest.fixture(scope="module")
+def block_loop():
+    return build_dataloop(BLOCK_3D)
+
+
+@pytest.fixture(scope="module")
+def vector_loop():
+    return build_dataloop(VECTOR_BIG)
+
+
+def bench_build_dataloop_subarray(benchmark):
+    loop = benchmark(build_dataloop, BLOCK_3D)
+    assert loop.data_size == BLOCK_3D.size
+
+
+def bench_build_dataloop_vector(benchmark):
+    loop = benchmark(build_dataloop, VECTOR_BIG)
+    assert loop.node_count() == 1
+
+
+def bench_stream_expand_full(benchmark, block_loop):
+    """Expand the 3-D block filetype (22,500 regions) — server path."""
+    regions = benchmark(stream_regions, block_loop)
+    assert regions.count == 150 * 150
+
+
+def bench_stream_expand_window(benchmark, block_loop):
+    size = block_loop.data_size
+
+    def run():
+        return stream_regions(block_loop, first=size // 3, last=2 * size // 3)
+
+    regions = benchmark(run)
+    assert regions.total_bytes == 2 * size // 3 - size // 3
+
+
+def bench_partial_batches_64(benchmark, vector_loop):
+    """Bounded-batch iteration (the partial-processing mode)."""
+
+    def run():
+        n = 0
+        for batch in DataloopStream(vector_loop, max_regions=64):
+            n += batch.count
+        return n
+
+    assert benchmark(run) == 100_000
+
+
+def bench_datatype_flatten(benchmark):
+    t = subarray([600, 600, 600], [150, 150, 150], [0, 0, 0], INT)
+
+    def run():
+        t._flat_cache = None  # defeat the cache: measure real work
+        return t.flatten()
+
+    regions = benchmark(run)
+    assert regions.count == 22_500
+
+
+def bench_serialize(benchmark, block_loop):
+    data = benchmark(dumps, block_loop)
+    assert len(data) < 200  # concise for regular patterns
+
+
+def bench_deserialize(benchmark, block_loop):
+    data = dumps(block_loop)
+    loop = benchmark(loads, data)
+    assert loop.data_size == block_loop.data_size

@@ -1,0 +1,90 @@
+"""E6 (Figure 12): FLASH checkpoint write bandwidth vs client count.
+
+Shape claims asserted (paper §4.4):
+
+* with noncontiguous *memory*, list processing hits the clients: both
+  list I/O and datatype I/O underperform two-phase at small client
+  counts (the dip);
+* datatype I/O crosses over and beats two-phase as clients grow, and
+  the lead persists at the top of the sweep ("this trend continues");
+* list I/O never overtakes two-phase.
+
+Sweep is reduced (paper geometry, fewer client counts) for wall clock.
+"""
+
+import pytest
+
+from repro.bench import FlashWorkload, run_workload
+
+COUNTS = (2, 8, 32, 64)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    out = {}
+    for n in COUNTS:
+        for m in ("two_phase", "list_io", "datatype_io"):
+            out[(n, m)] = run_workload(FlashWorkload.paper(n), m, phantom=True)
+    return out
+
+
+def bench_fig12_small_n_dip(benchmark, sweep):
+    r = benchmark.pedantic(
+        run_workload,
+        args=(FlashWorkload.paper(2), "datatype_io"),
+        kwargs={"phantom": True},
+        rounds=1,
+        iterations=1,
+    )
+    # at 2 clients the client-side list processing dominates: two-phase
+    # wins (paper: both list and datatype underperform at small N)
+    assert sweep[(2, "two_phase")].bandwidth_mbps > r.bandwidth_mbps
+    assert sweep[(2, "two_phase")].bandwidth_mbps > sweep[
+        (2, "list_io")
+    ].bandwidth_mbps
+
+
+def bench_fig12_crossover_and_lead(benchmark, sweep, paper_claims):
+    r = benchmark.pedantic(
+        run_workload,
+        args=(FlashWorkload.paper(32), "datatype_io"),
+        kwargs={"phantom": True},
+        rounds=1,
+        iterations=1,
+    )
+    assert r.bandwidth_mbps > sweep[(32, "two_phase")].bandwidth_mbps
+    # the lead persists at the top of the sweep
+    if paper_claims["flash_high_n_datatype_wins"]:
+        assert (
+            sweep[(64, "datatype_io")].bandwidth_mbps
+            > sweep[(64, "two_phase")].bandwidth_mbps
+        )
+
+
+def bench_fig12_list_never_overtakes(benchmark, sweep):
+    r = benchmark.pedantic(
+        run_workload,
+        args=(FlashWorkload.paper(8), "list_io"),
+        kwargs={"phantom": True},
+        rounds=1,
+        iterations=1,
+    )
+    for n in COUNTS:
+        assert (
+            sweep[(n, "list_io")].bandwidth_mbps
+            < sweep[(n, "two_phase")].bandwidth_mbps
+        ), n
+    assert r.io_ops == 15_360
+
+
+def bench_fig12_twophase_resend_fraction(benchmark, sweep):
+    r = benchmark.pedantic(
+        run_workload,
+        args=(FlashWorkload.paper(8), "two_phase"),
+        kwargs={"phantom": True},
+        rounds=1,
+        iterations=1,
+    )
+    # Table 3: resent = desired * (n-1)/n
+    assert r.resent_bytes / r.desired_bytes == pytest.approx(7 / 8, rel=0.01)
+    assert r.io_ops == 2  # ceil(7.5 MiB / 4 MiB)

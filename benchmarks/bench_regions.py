@@ -1,0 +1,68 @@
+"""Micro-benchmarks of region algebra and data movement."""
+
+import numpy as np
+import pytest
+
+from repro.pvfs.distribution import Distribution
+from repro.regions import Regions
+
+
+@pytest.fixture(scope="module")
+def big_regions():
+    return Regions.from_pairs([(i * 24, 12) for i in range(100_000)])
+
+
+@pytest.fixture(scope="module")
+def buf():
+    return np.random.default_rng(0).integers(
+        0, 255, 24 * 100_000 + 64, dtype=np.uint8
+    )
+
+
+def bench_gather_100k_regions(benchmark, big_regions, buf):
+    out = benchmark(big_regions.gather, buf)
+    assert out.size == big_regions.total_bytes
+
+
+def bench_scatter_100k_regions(benchmark, big_regions, buf):
+    data = big_regions.gather(buf)
+    target = np.zeros_like(buf)
+    benchmark(big_regions.scatter, target, data)
+
+
+def bench_coalesce_dense(benchmark):
+    r = Regions.from_pairs([(i * 4, 4) for i in range(100_000)])
+    out = benchmark(r.coalesce)
+    assert out.count == 1
+
+
+def bench_tile(benchmark):
+    r = Regions.from_pairs([(0, 8), (16, 8)])
+    out = benchmark(r.tile, 50_000, 32)
+    assert out.count == 100_000
+
+
+def bench_slice_stream(benchmark, big_regions):
+    total = big_regions.total_bytes
+    out = benchmark(big_regions.slice_stream, total // 4, 3 * total // 4)
+    assert out.total_bytes == 3 * total // 4 - total // 4
+
+
+def bench_split_at_stream(benchmark, big_regions):
+    cuts = np.arange(0, big_regions.total_bytes, 512)
+    out = benchmark(big_regions.split_at_stream, cuts)
+    assert out.total_bytes == big_regions.total_bytes
+
+
+def bench_distribution_split(benchmark, big_regions):
+    """Striping split of a 100k-region access (client job building)."""
+    dist = Distribution(16, 65536)
+    split = benchmark(dist.split, big_regions)
+    assert sum(sp.nbytes for sp in split.values()) == big_regions.total_bytes
+
+
+def bench_server_regions(benchmark, big_regions):
+    """One server's share (the server-side dataloop intersection)."""
+    dist = Distribution(16, 65536)
+    share = benchmark(dist.server_regions, big_regions, 3)
+    assert share.nbytes > 0

@@ -1,0 +1,30 @@
+"""Shared benchmark configuration.
+
+The suite has two kinds of entries:
+
+* **micro-benchmarks** of the reproduction's own hot paths (dataloop
+  building, stream expansion, region algebra) — classic
+  pytest-benchmark usage;
+* **experiment regenerations** (one per paper table/figure) that run
+  the simulator at reduced-but-faithful scales, *assert the paper's
+  qualitative claims*, and report the wall-clock cost of regeneration.
+
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    # keep experiment benches after micros for nicer output ordering
+    items.sort(key=lambda it: ("bench_tables" in str(it.fspath), str(it.fspath)))
+
+
+@pytest.fixture(scope="session")
+def paper_claims():
+    """Qualitative claims asserted by the figure benches."""
+    return {
+        "tile_datatype_over_list_min": 1.10,  # paper: 1.37
+        "block3d_peak_ratio_min": 1.5,  # paper: >2x next best
+        "flash_high_n_datatype_wins": True,
+    }

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""FLASH checkpoint (paper §4.4) with real data.
+
+Four ranks hold AMR blocks in memory (arrays-of-structs with guard
+cells) and checkpoint the interior cells to a variable-major file — the
+access is noncontiguous in memory *and* in file.  The checkpoint is
+written with datatype I/O and with two-phase collective I/O, verified
+cell-by-cell against a directly computed reference file, and the two
+methods' traffic is compared.
+
+Run:  python examples/flash_checkpoint.py
+"""
+
+import numpy as np
+
+from repro.bench import FlashWorkload
+from repro.datatypes import BYTE
+from repro.mpiio import File, Hints, SimMPI
+from repro.pvfs import PVFS
+from repro.simulation import Environment
+
+
+def fill_blocks(wl, rank):
+    """In-memory blocks: value encodes (rank, var, block, cell)."""
+    buf = np.zeros(wl.nblocks * wl.block_mem_bytes, dtype=np.uint8)
+    vals = buf.view(np.float64)
+    s = wl.side_full
+    for b in range(wl.nblocks):
+        base = b * wl.block_mem_bytes // 8
+        for cell in range(s**3):
+            for v in range(wl.nvar):
+                vals[base + cell * wl.nvar + v] = (
+                    rank * 1e9 + v * 1e6 + b * 1e3 + cell
+                )
+    return buf
+
+
+def reference_file(wl, buffers):
+    """What the checkpoint file must contain, computed directly."""
+    total = wl.bytes_per_client() * wl.n_clients
+    out = np.zeros(total, dtype=np.uint8)
+    for rank, buf in enumerate(buffers):
+        stream = wl.memtype(rank).flatten().gather(buf)
+        file_regions = (
+            wl.filetype(rank).flatten().shift(wl.displacement(rank, 0))
+        )
+        file_regions.scatter(out, stream)
+    return out
+
+
+def checkpoint(wl, buffers, method):
+    env = Environment()
+    fs = PVFS(env, n_servers=8, strip_size=2048)
+    mpi = SimMPI(fs, wl.n_clients)
+    collective = method == "two_phase"
+
+    def rank_main(ctx):
+        f = yield from File.open(ctx, wl.path, Hints())
+        f.set_view(
+            wl.displacement(ctx.rank, 0), BYTE, wl.filetype(ctx.rank)
+        )
+        write = f.write_at_all if collective else f.write_at
+        yield from write(
+            0, wl.memtype(ctx.rank), 1, buffers[ctx.rank], method=method
+        )
+        return f.counters
+
+    counters = mpi.run(rank_main)
+    handle = fs.metadata.files[wl.path].handle
+    total = wl.bytes_per_client() * wl.n_clients
+    return env.now, counters, fs.read_back(handle, 0, total)
+
+
+def main():
+    wl = FlashWorkload(n_clients=4, nblocks=4, nxb=4, nguard=2, nvar=3)
+    print(
+        f"{wl.n_clients} ranks x {wl.nblocks} blocks of "
+        f"{wl.nxb}^3 interior cells (+{wl.nguard} guards), "
+        f"{wl.nvar} variables -> "
+        f"{wl.bytes_per_client()} B checkpoint data per rank"
+    )
+    buffers = [fill_blocks(wl, r) for r in range(wl.n_clients)]
+    expect = reference_file(wl, buffers)
+
+    for method in ("datatype_io", "two_phase", "list_io"):
+        t, counters, got = checkpoint(wl, buffers, method)
+        assert np.array_equal(got, expect), f"{method}: checkpoint corrupt!"
+        c = counters[0]
+        print(
+            f"{method:12s}: sim {t * 1000:8.2f} ms, "
+            f"{c.io_ops:4d} FS ops/rank, resent {c.resent_bytes} B"
+        )
+    print("checkpoint verified bit-for-bit for all methods")
+    print("(paper-scale bandwidth sweep: `repro-bench fig12`)")
+
+
+if __name__ == "__main__":
+    main()

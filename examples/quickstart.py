@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Quickstart: a PVFS cluster, an MPI-IO file view, datatype I/O.
+
+Builds a 4-server simulated parallel file system, runs two MPI ranks
+that each write a strided column block of a 2-D integer array through
+an MPI-IO file view using **datatype I/O**, reads it back, verifies the
+bytes, and prints what went over the wire.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.datatypes import INT, contiguous, subarray
+from repro.dataloops import build_dataloop, wire_size
+from repro.mpiio import File, Hints, SimMPI
+from repro.pvfs import PVFS
+from repro.simulation import Environment
+
+N = 64  # 64x64 ints
+NRANKS = 2
+
+
+def rank_main(ctx):
+    """One MPI rank: write my column block, read it back, verify."""
+    f = yield from File.open(ctx, "/demo/array", Hints())
+
+    # my half of the columns, as an MPI subarray type
+    cols = N // ctx.size
+    filetype = subarray(
+        sizes=[N, N],
+        subsizes=[N, cols],
+        starts=[0, ctx.rank * cols],
+        oldtype=INT,
+    )
+    f.set_view(displacement=0, etype=INT, filetype=filetype)
+
+    # fill a contiguous buffer with my rank's pattern
+    nelem = N * cols
+    data = np.arange(nelem, dtype=np.int32) + ctx.rank * 1_000_000
+    buf = data.view(np.uint8)
+
+    memtype = contiguous(nelem, INT)
+    yield from f.write_at(0, memtype, 1, buf, method="datatype_io")
+
+    out = np.zeros_like(buf)
+    yield from f.read_at(0, memtype, 1, out, method="datatype_io")
+    assert np.array_equal(out, buf), "read-back mismatch!"
+
+    return {
+        "rank": ctx.rank,
+        "io_ops": f.counters.io_ops,
+        "bytes": f.counters.desired_bytes,
+        "fs_requests": ctx.fs.counters.requests_sent,
+        "filetype": filetype,
+    }
+
+
+def main():
+    env = Environment()
+    fs = PVFS(env, n_servers=4, strip_size=4096)
+    mpi = SimMPI(fs, NRANKS, procs_per_node=1)
+
+    results = mpi.run(rank_main)
+
+    print(f"simulated cluster : {fs.config.n_servers} I/O servers, "
+          f"{fs.config.strip_size} B strips")
+    print(f"simulated time    : {env.now * 1000:.2f} ms")
+    for r in results:
+        loop = build_dataloop(r["filetype"])
+        print(
+            f"rank {r['rank']}: {r['bytes']} B in {r['io_ops']} datatype-I/O "
+            f"ops ({r['fs_requests']} server requests); "
+            f"dataloop wire size {wire_size(loop)} B vs "
+            f"{r['filetype'].flat_region_count() * 12} B as an "
+            "offset-length list"
+        )
+
+    stats = fs.total_server_stats()
+    print(f"servers           : {stats['requests']} requests, "
+          f"{stats['accesses_built']} accesses built, "
+          f"{stats['bytes_written']} B written, "
+          f"{stats['bytes_read']} B read")
+    print("OK: all ranks verified their data.")
+
+
+if __name__ == "__main__":
+    main()

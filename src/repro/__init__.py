@@ -1,0 +1,72 @@
+"""repro — datatype I/O in a parallel file system.
+
+A from-scratch Python reproduction of
+
+    A. Ching, A. Choudhary, W. Liao, R. Ross, W. Gropp.
+    "Efficient Structured Data Access in Parallel File Systems",
+    IEEE CLUSTER 2003.
+
+The package provides, bottom-up:
+
+* :mod:`repro.regions` — vectorized offset/length region sets;
+* :mod:`repro.datatypes` — an MPI derived-datatype engine;
+* :mod:`repro.dataloops` — the MPICH2-style dataloop component the
+  paper builds on (conversion, partial processing, wire encoding);
+* :mod:`repro.simulation` — a discrete-event cluster simulator with a
+  calibrated cost model;
+* :mod:`repro.storage` — server-side byte stores and disk timing;
+* :mod:`repro.pvfs` — a PVFS-like parallel file system supporting
+  contiguous, list and **datatype I/O** at the file-system interface;
+* :mod:`repro.mpiio` — a ROMIO-like MPI-IO layer with POSIX, data
+  sieving, two-phase, list I/O and datatype I/O access methods over
+  simulated MPI ranks;
+* :mod:`repro.bench` — the paper's three benchmarks and the harness
+  regenerating every table and figure (also: ``repro-bench`` CLI).
+
+Quick taste::
+
+    from repro.simulation import Environment
+    from repro.pvfs import PVFS
+    from repro.mpiio import SimMPI, File
+    from repro.datatypes import INT, subarray, contiguous
+
+    env = Environment()
+    fs = PVFS(env, n_servers=16)          # the paper's configuration
+    mpi = SimMPI(fs, nprocs=8)
+
+    def rank_main(ctx):
+        f = yield from File.open(ctx, "/data")
+        f.set_view(0, INT, subarray([64]*3, [32]*3, [0]*3, INT))
+        yield from f.write_at(0, contiguous(32**3, INT), 1, my_buf,
+                              method="datatype_io")
+        return f.counters
+
+    counters = mpi.run(rank_main)
+"""
+
+from . import (
+    bench,
+    dataloops,
+    datatypes,
+    mpiio,
+    pvfs,
+    regions,
+    simulation,
+    storage,
+)
+from .regions import Regions
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Regions",
+    "regions",
+    "datatypes",
+    "dataloops",
+    "simulation",
+    "storage",
+    "pvfs",
+    "mpiio",
+    "bench",
+    "__version__",
+]

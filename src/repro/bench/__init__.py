@@ -1,0 +1,38 @@
+"""Benchmark harness: regenerates every table and figure of the paper.
+
+* :mod:`~repro.bench.workloads` — the three evaluation applications
+  (§4): the tile reader, the ROMIO 3-D block test (``coll_perf``), and
+  the FLASH I/O checkpoint simulation, each parameterized at *paper*
+  scale (exact §4 geometry) and reducible for tests;
+* :mod:`~repro.bench.runner` — drives one (workload, method) pair
+  through the simulated cluster and collects counters + elapsed time;
+* :mod:`~repro.bench.characteristics` — Tables 1–3;
+* :mod:`~repro.bench.figures` — Figures 8, 10 and 12;
+* :mod:`~repro.bench.report` — text rendering and results files;
+* :mod:`~repro.bench.cli` — ``repro-bench`` / ``python -m repro.bench``.
+"""
+
+from . import characteristics, figures, plots, report
+from .runner import RunResult, run_workload
+from .validate import ValidationReport, validate_workload
+from .workloads import (
+    Block3DWorkload,
+    FlashWorkload,
+    TileWorkload,
+    Workload,
+)
+
+__all__ = [
+    "RunResult",
+    "run_workload",
+    "Workload",
+    "TileWorkload",
+    "Block3DWorkload",
+    "FlashWorkload",
+    "ValidationReport",
+    "validate_workload",
+    "characteristics",
+    "figures",
+    "plots",
+    "report",
+]

@@ -1,0 +1,5 @@
+"""``python -m repro.bench`` entry point."""
+
+from .cli import main
+
+raise SystemExit(main())

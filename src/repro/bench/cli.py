@@ -1,0 +1,175 @@
+"""``repro-bench`` command line: regenerate the paper's tables/figures.
+
+Examples::
+
+    repro-bench table1
+    repro-bench table2 --clients 27
+    repro-bench fig12 --quick
+    repro-bench all --out results/
+
+Everything runs at paper scale in phantom mode; ``--quick`` shrinks
+frame counts and sweeps for a fast smoke run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from . import characteristics as chars
+from . import figures
+from .plots import plot_figure
+from .report import render_characteristics, render_figure
+
+__all__ = ["main"]
+
+
+def _emit(text: str, out: pathlib.Path | None, filename: str) -> None:
+    print(text)
+    print()
+    if out is not None:
+        out.mkdir(parents=True, exist_ok=True)
+        (out / filename).write_text(text + "\n")
+        print(f"[saved {out / filename}]", file=sys.stderr)
+
+
+def cmd_table1(args, out):
+    rows = chars.table1(frames=1)
+    _emit(
+        render_characteristics(
+            "Table 1: I/O characteristics of the tile reader benchmark "
+            "(per frame)",
+            rows,
+        ),
+        out,
+        "table1.txt",
+    )
+
+
+def cmd_table2(args, out):
+    dims = [args.clients_per_dim] if args.clients_per_dim else [2, 3, 4]
+    blocks = []
+    for cpd in dims:
+        rows = chars.table2(cpd)
+        blocks.append(
+            render_characteristics(
+                f"Table 2 ({cpd**3} clients): ROMIO 3-D block test", rows
+            )
+        )
+    _emit("\n\n".join(blocks), out, "table2.txt")
+
+
+def cmd_table3(args, out):
+    rows = chars.table3(n_clients=args.flash_clients)
+    _emit(
+        render_characteristics(
+            f"Table 3: FLASH I/O characteristics "
+            f"({args.flash_clients} clients)",
+            rows,
+        ),
+        out,
+        "table3.txt",
+    )
+
+
+def cmd_fig8(args, out):
+    frames = 3 if args.quick else 10
+    fig = figures.fig8(frames=frames)
+    text = render_figure(fig)
+    if args.plot:
+        text += "\n\n" + plot_figure(fig)
+    _emit(text, out, "fig8.txt")
+
+
+def cmd_fig10(args, out):
+    dims = (2, 3) if args.quick else (2, 3, 4)
+    read_fig, write_fig = figures.fig10(client_dims=dims)
+    text = render_figure(read_fig) + "\n\n" + render_figure(write_fig)
+    if args.plot:
+        text += "\n\n" + plot_figure(read_fig)
+        text += "\n\n" + plot_figure(write_fig)
+    _emit(text, out, "fig10.txt")
+
+
+def cmd_fig12(args, out):
+    counts = (2, 8, 32) if args.quick else (2, 4, 8, 16, 32, 48, 64, 96, 128)
+    fig = figures.fig12(client_counts=counts)
+    text = render_figure(fig)
+    if args.plot:
+        text += "\n\n" + plot_figure(fig)
+    _emit(text, out, "fig12.txt")
+
+
+def cmd_validate(args, out):
+    """Cross-method write x read validation on real data."""
+    from .validate import validate_workload
+    from .workloads import Block3DWorkload, FlashWorkload
+
+    reports = [
+        validate_workload(Block3DWorkload.reduced(2, is_write=True)),
+        validate_workload(FlashWorkload.reduced(2)),
+    ]
+    text = "\n".join(r.summary() for r in reports)
+    _emit(text, out, "validate.txt")
+
+
+COMMANDS = {
+    "validate": cmd_validate,
+    "table1": cmd_table1,
+    "table2": cmd_table2,
+    "table3": cmd_table3,
+    "fig8": cmd_fig8,
+    "fig10": cmd_fig10,
+    "fig12": cmd_fig12,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the tables and figures of Ching et al. "
+        "(CLUSTER 2003).",
+    )
+    parser.add_argument(
+        "what",
+        choices=[*COMMANDS, "all"],
+        help="which artifact to regenerate",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="directory to save the rendered text into",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller sweeps / fewer frames"
+    )
+    parser.add_argument(
+        "--plot", action="store_true", help="append ASCII charts to figures"
+    )
+    parser.add_argument(
+        "--clients-per-dim",
+        type=int,
+        default=None,
+        help="table2: run a single decomposition (2, 3 or 4)",
+    )
+    parser.add_argument(
+        "--flash-clients",
+        type=int,
+        default=4,
+        help="table3: client count (affects only the resent fraction)",
+    )
+    args = parser.parse_args(argv)
+
+    targets = list(COMMANDS) if args.what == "all" else [args.what]
+    for name in targets:
+        t0 = time.time()
+        COMMANDS[name](args, args.out)
+        print(f"[{name}: {time.time() - t0:.1f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,116 @@
+"""ASCII rendering of figure series (no plotting dependencies).
+
+`repro-bench fig... --plot` draws the same series the paper's figures
+show: a horizontal bar chart for single-x figures (Figure 8) and a
+multi-series line chart on a character grid for the sweeps (Figures 10
+and 12).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .characteristics import METHOD_LABELS
+from .figures import FigureSeries
+
+__all__ = ["bar_chart", "line_chart", "plot_figure"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def bar_chart(
+    fig: FigureSeries, width: int = 56, unit: str = "MiB/s"
+) -> str:
+    """Horizontal bars, one per method (for single-x figures)."""
+    xs = fig.xs()
+    if len(xs) != 1:
+        raise ValueError("bar_chart needs a single-x figure")
+    x = xs[0]
+    values = {
+        m: fig.series[m].get(x) for m in fig.series
+    }
+    vmax = max((v for v in values.values() if v), default=1.0)
+    lines = [f"{fig.name} at {x} {fig.xlabel} ({unit})"]
+    for m, v in values.items():
+        label = METHOD_LABELS.get(m, m)
+        if v is None:
+            lines.append(f"{label:>18s} | (unavailable)")
+            continue
+        n = int(round(v / vmax * width))
+        lines.append(f"{label:>18s} | {'█' * max(n, 1)} {v:.1f}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    fig: FigureSeries,
+    width: int = 64,
+    height: int = 18,
+    unit: str = "MiB/s",
+    methods: Optional[list[str]] = None,
+) -> str:
+    """Multi-series chart on a character grid (x = clients, log-ish)."""
+    xs = fig.xs()
+    if len(xs) < 2:
+        raise ValueError("line_chart needs at least two x values")
+    methods = methods or [
+        m for m in fig.series if any(v for v in fig.series[m].values())
+    ]
+    vmax = max(
+        v
+        for m in methods
+        for v in fig.series[m].values()
+        if v is not None
+    )
+    if vmax <= 0:
+        vmax = 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def col(x):
+        i = xs.index(x)
+        return int(i / max(len(xs) - 1, 1) * (width - 1))
+
+    def row(v):
+        return height - 1 - int(v / vmax * (height - 1))
+
+    legend = []
+    for k, m in enumerate(methods):
+        marker = _MARKERS[k % len(_MARKERS)]
+        legend.append(f"{marker}={METHOD_LABELS.get(m, m)}")
+        pts = [
+            (col(x), row(v))
+            for x, v in sorted(fig.series[m].items())
+            if v is not None
+        ]
+        # connect consecutive points with linear interpolation
+        for (c0, r0), (c1, r1) in zip(pts[:-1], pts[1:]):
+            steps = max(abs(c1 - c0), 1)
+            for s in range(steps + 1):
+                c = c0 + (c1 - c0) * s // steps
+                r = r0 + (r1 - r0) * s // steps
+                if grid[r][c] == " ":
+                    grid[r][c] = "."
+        for c, r in pts:
+            grid[r][c] = marker
+
+    lines = [f"{fig.name} (aggregate {unit}, max={vmax:.0f})"]
+    for r, rowchars in enumerate(grid):
+        axis = f"{vmax * (height - 1 - r) / (height - 1):7.0f} |"
+        lines.append(axis + "".join(rowchars))
+    ticks = "        +" + "-" * width
+    lines.append(ticks)
+    labels = [" "] * width
+    for x in xs:
+        s = str(x)
+        c = min(col(x), width - len(s))
+        for i, ch in enumerate(s):
+            labels[c + i] = ch
+    lines.append("         " + "".join(labels) + f"  ({fig.xlabel})")
+    lines.append("  " + "  ".join(legend))
+    return "\n".join(lines)
+
+
+def plot_figure(fig: FigureSeries, **kw) -> str:
+    """Pick the chart type by the number of x values."""
+    if len(fig.xs()) == 1:
+        return bar_chart(fig, **kw)
+    return line_chart(fig, **kw)

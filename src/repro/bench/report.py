@@ -1,0 +1,143 @@
+"""Text rendering of tables and figures, paper-style."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .characteristics import METHOD_LABELS, CharacteristicsRow
+from .figures import FigureSeries
+
+__all__ = [
+    "format_mib",
+    "render_characteristics",
+    "render_figure",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+]
+
+MIB = 1024 * 1024
+
+
+def format_mib(nbytes: Optional[float], dash: str = "—") -> str:
+    """Format a byte count the way the paper's tables do (MiB)."""
+    if nbytes is None:
+        return dash
+    mb = nbytes / MIB
+    if mb == 0:
+        return dash
+    if mb >= 100:
+        return f"{mb:.0f} MB"
+    if mb >= 10:
+        return f"{mb:.1f} MB"
+    return f"{mb:.2f} MB"
+
+
+def _ops(x: Optional[float]) -> str:
+    if x is None:
+        return "—"
+    if x == int(x):
+        return f"{int(x):,}"
+    return f"{x:,.1f}"
+
+
+def render_characteristics(
+    title: str, rows: Sequence[CharacteristicsRow]
+) -> str:
+    """Render one characteristics table (paper Tables 1–3 layout)."""
+    header = (
+        f"{'':18s} {'Desired Data':>14s} {'Data Accessed':>14s} "
+        f"{'# I/O Ops':>12s} {'Resent Data':>13s}"
+    )
+    sub = (
+        f"{'':18s} {'per Client':>14s} {'per Client':>14s} "
+        f"{'per Client':>12s} {'per Client':>13s}"
+    )
+    lines = [title, "=" * len(header), header, sub, "-" * len(header)]
+    for row in rows:
+        label = METHOD_LABELS.get(row.method, row.method)
+        if not row.supported:
+            lines.append(
+                f"{label:18s} {'—':>14s} {'—':>14s} {'—':>12s} {'—':>13s}"
+            )
+            continue
+        resent = (
+            format_mib(row.resent_bytes) if row.resent_bytes > 0 else "—"
+        )
+        lines.append(
+            f"{label:18s} {format_mib(row.desired_bytes):>14s} "
+            f"{format_mib(row.accessed_bytes):>14s} "
+            f"{_ops(row.io_ops):>12s} {resent:>13s}"
+        )
+    return "\n".join(lines)
+
+
+def render_figure(fig: FigureSeries, unit: str = "MiB/s") -> str:
+    """Render a figure's series as an aligned table."""
+    xs = fig.xs()
+    methods = [m for m in fig.series]
+    header = f"{fig.xlabel:>10s} " + " ".join(
+        f"{METHOD_LABELS.get(m, m):>17s}" for m in methods
+    )
+    lines = [f"{fig.name}  (aggregate {unit})", "=" * len(header), header]
+    for x in xs:
+        cells = []
+        for m in methods:
+            v = fig.series[m].get(x)
+            cells.append(f"{v:17.1f}" if v is not None else f"{'—':>17s}")
+        lines.append(f"{x:>10d} " + " ".join(cells))
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# The paper's published values, for side-by-side comparison in reports
+# and assertions in the benchmark suite.  Units: bytes (MiB-based, as
+# printed in the paper), operations, or None for "—".
+# ----------------------------------------------------------------------
+def _mb(x: float) -> int:
+    return int(x * MIB)
+
+
+#: Table 1 (tile reader): method -> (desired, accessed, ops, resent)
+PAPER_TABLE1 = {
+    "posix": (_mb(2.25), _mb(2.25), 768, None),
+    "data_sieving": (_mb(2.25), _mb(5.56), 2, None),
+    "two_phase": (_mb(2.25), _mb(1.70), 1, _mb(1.50)),
+    "list_io": (_mb(2.25), _mb(2.25), 12, None),
+    "datatype_io": (_mb(2.25), _mb(2.25), 1, None),
+}
+
+#: Table 2 (3-D block): clients -> method -> (desired, accessed, ops, resent)
+PAPER_TABLE2 = {
+    8: {
+        "posix": (_mb(103), _mb(103), 90_000, None),
+        "data_sieving": (_mb(103), _mb(412), 103, None),
+        "two_phase": (_mb(103), _mb(103), 26, _mb(77.2)),
+        "list_io": (_mb(103), _mb(103), 1408, None),
+        "datatype_io": (_mb(103), _mb(103), 1, None),
+    },
+    27: {
+        "posix": (_mb(30.5), _mb(30.5), 40_000, None),
+        "data_sieving": (_mb(30.5), _mb(274.7), 69, None),
+        "two_phase": (_mb(30.5), _mb(30.5), 8, _mb(27.1)),
+        "list_io": (_mb(30.5), _mb(30.5), 626, None),
+        "datatype_io": (_mb(30.5), _mb(30.5), 1, None),
+    },
+    64: {
+        "posix": (_mb(12.9), _mb(12.9), 22_500, None),
+        "data_sieving": (_mb(12.9), _mb(206.0), 52, None),
+        "two_phase": (_mb(12.9), _mb(12.9), 4, _mb(12.1)),
+        "list_io": (_mb(12.9), _mb(12.9), 352, None),
+        "datatype_io": (_mb(12.9), _mb(12.9), 1, None),
+    },
+}
+
+#: Table 3 (FLASH): method -> (desired, accessed, ops, resent_fraction)
+#: resent is 7.5 MB × (n-1)/n for two-phase.
+PAPER_TABLE3 = {
+    "posix": (_mb(7.50), _mb(7.50), 983_040, None),
+    "data_sieving": None,  # unavailable: write test without locking
+    "two_phase": (_mb(7.50), _mb(7.50), 2, "n-1/n"),
+    "list_io": (_mb(7.50), _mb(7.50), 15_360, None),
+    "datatype_io": (_mb(7.50), _mb(7.50), 1, None),
+}

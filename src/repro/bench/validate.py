@@ -1,0 +1,129 @@
+"""Cross-method validation: the strongest correctness check available.
+
+For a given workload (at a real-data-feasible scale), write the file
+with each write-capable method in turn and read it back with *every*
+read method, asserting bit-identical bytes and identical file images.
+Used by the test suite and available to users porting new methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..mpiio import File, Hints, SimMPI
+from ..pvfs import PVFS, PVFSConfig
+from ..pvfs.errors import LockUnsupported
+from ..simulation import Environment
+
+__all__ = ["ValidationReport", "validate_workload"]
+
+WRITE_METHODS = ["posix", "data_sieving", "two_phase", "list_io", "datatype_io"]
+READ_METHODS = ["posix", "data_sieving", "two_phase", "list_io", "datatype_io"]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of one cross-method validation."""
+
+    workload: str
+    checks: int = 0
+    skipped: list[str] = field(default_factory=list)
+    file_images: dict[str, bytes] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.checks > 0
+
+    def summary(self) -> str:
+        parts = [f"{self.workload}: {self.checks} cross-method checks passed"]
+        if self.skipped:
+            parts.append(f"(skipped: {', '.join(self.skipped)})")
+        return " ".join(parts)
+
+
+def validate_workload(
+    workload,
+    config: PVFSConfig | None = None,
+    write_methods=WRITE_METHODS,
+    read_methods=READ_METHODS,
+) -> ValidationReport:
+    """Run the full write×read matrix over the workload.
+
+    Raises ``AssertionError`` on the first mismatch.  Collective
+    methods are driven through the collective entry points; methods
+    that the configuration cannot support (data-sieving writes without
+    locking) are recorded as skipped.
+    """
+    report = ValidationReport(workload.name)
+    config = config or PVFSConfig(n_servers=4, strip_size=256)
+    buffers = [
+        workload.fill_buffer(rank) for rank in range(workload.n_clients)
+    ]
+
+    for wm in write_methods:
+        env = Environment()
+        fs = PVFS(env, config=config)
+        mpi = SimMPI(fs, workload.n_clients)
+        skipped = []
+
+        def rank_main(ctx):
+            f = yield from File.open(ctx, workload.path, Hints())
+            f.set_view(
+                workload.displacement(ctx.rank, 0),
+                workload.etype(),
+                workload.filetype(ctx.rank),
+            )
+            mt = workload.memtype(ctx.rank)
+            buf = _fit(buffers[ctx.rank], mt)
+            write = f.write_at_all if wm == "two_phase" else f.write_at
+            try:
+                yield from write(0, mt, 1, buf, method=wm)
+            except LockUnsupported:
+                skipped.append(wm)
+                yield from ctx.comm.barrier()
+                return 0
+            yield from ctx.comm.barrier()
+            checks = 0
+            mem_regions = mt.flatten()
+            want = mem_regions.gather(buf)
+            for rm in read_methods:
+                out = np.zeros_like(buf)
+                read = f.read_at_all if rm == "two_phase" else f.read_at
+                yield from read(0, mt, 1, out, method=rm)
+                got = mem_regions.gather(out)
+                if not np.array_equal(got, want):
+                    raise AssertionError(
+                        f"{workload.name}: wrote with {wm}, read with "
+                        f"{rm}: data mismatch on rank {ctx.rank}"
+                    )
+                checks += 1
+            return checks
+
+        results = mpi.run(rank_main)
+        if skipped:
+            report.skipped.append(wm)
+            continue
+        report.checks += sum(results)
+        # capture the file image for write-method cross-comparison
+        handle = fs.metadata.files[workload.path].handle
+        size = fs.logical_size(handle)
+        report.file_images[wm] = fs.read_back(handle, 0, size).tobytes()
+
+    images = set(report.file_images.values())
+    if len(images) > 1:
+        raise AssertionError(
+            f"{workload.name}: write methods produced different file "
+            f"images: { {k: len(v) for k, v in report.file_images.items()} }"
+        )
+    return report
+
+
+def _fit(buf: np.ndarray, memtype) -> np.ndarray:
+    need = max(memtype.true_ub, 1)
+    if buf.size < need:
+        return np.concatenate(
+            [buf, np.zeros(need - buf.size, dtype=np.uint8)]
+        )
+    return buf

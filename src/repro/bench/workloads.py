@@ -1,0 +1,350 @@
+"""The paper's three evaluation workloads (§4.2–§4.4).
+
+Each workload builds, per rank, the MPI datatypes whose file/memory
+shapes define the benchmark.  Paper-scale constructors reproduce the
+exact geometry of §4; every workload also offers ``reduced()`` presets
+small enough to move real bytes in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..datatypes import (
+    BYTE,
+    DOUBLE,
+    INT,
+    Datatype,
+    contiguous,
+    hvector,
+    struct,
+    subarray,
+    vector,
+)
+
+__all__ = [
+    "Workload",
+    "TileWorkload",
+    "Block3DWorkload",
+    "FlashWorkload",
+]
+
+
+class Workload:
+    """Base class: the geometry of one benchmark run.
+
+    A workload is read or written by ``n_clients`` ranks; each rank
+    accesses the file through ``filetype(rank)`` tiled at
+    ``displacement(rank, rep)`` with memory layout ``memtype(rank)``,
+    repeated ``repetitions`` times (the tile reader's frames).
+    """
+
+    name: str = "workload"
+    n_clients: int = 1
+    is_write: bool = False
+    repetitions: int = 1
+    procs_per_node: int = 2
+    path: str = "/data"
+
+    # -- per-rank datatypes -------------------------------------------
+    def filetype(self, rank: int) -> Datatype:
+        raise NotImplementedError
+
+    def memtype(self, rank: int) -> Datatype:
+        raise NotImplementedError
+
+    def etype(self) -> Datatype:
+        return BYTE
+
+    def displacement(self, rank: int, rep: int) -> int:
+        return 0
+
+    def mem_count(self, rank: int) -> int:
+        return 1
+
+    # -- sizes ---------------------------------------------------------
+    def bytes_per_client_per_rep(self) -> int:
+        return self.memtype(0).size * self.mem_count(0)
+
+    def bytes_per_client(self) -> int:
+        return self.bytes_per_client_per_rep() * self.repetitions
+
+    def total_bytes(self) -> int:
+        return self.bytes_per_client() * self.n_clients
+
+    # -- verification (real-data runs) ----------------------------------
+    def expected_file_bytes(self) -> Optional[np.ndarray]:
+        """Full expected file contents for write workloads (tests)."""
+        return None
+
+    def fill_buffer(self, rank: int) -> np.ndarray:
+        """Deterministic per-rank payload for real-data runs."""
+        n = self.bytes_per_client_per_rep()
+        rng = np.random.default_rng(1234 + rank)
+        return rng.integers(0, 256, n, dtype=np.uint8)
+
+
+# ----------------------------------------------------------------------
+# §4.2 tile reader
+# ----------------------------------------------------------------------
+@dataclass
+class TileWorkload(Workload):
+    """Tile reader benchmark (paper §4.2, Figure 8, Table 1).
+
+    A ``tile_rows × tile_cols`` display wall; each compute node reads
+    its tile (with the configured overlaps) of each frame into a
+    contiguous buffer.  Defaults are the paper's exact parameters:
+    1024×768 tiles, 24-bit colour, 270/128-pixel overlaps, 10.2 MB
+    frames, 100 frames.
+    """
+
+    tile_rows: int = 2
+    tile_cols: int = 3
+    tile_w: int = 1024
+    tile_h: int = 768
+    bytes_per_pixel: int = 3
+    overlap_x: int = 270
+    overlap_y: int = 128
+    repetitions: int = 100
+    #: tile reader runs one process per node (§4.1)
+    procs_per_node: int = 1
+    name: str = "tile"
+    path: str = "/frames"
+    is_write: bool = False
+
+    def __post_init__(self):
+        self.n_clients = self.tile_rows * self.tile_cols
+        self._memtypes: dict[int, Datatype] = {}
+        self._filetypes: dict[int, Datatype] = {}
+
+    # -- geometry -------------------------------------------------------
+    @property
+    def display_w(self) -> int:
+        return self.tile_cols * self.tile_w - (self.tile_cols - 1) * self.overlap_x
+
+    @property
+    def display_h(self) -> int:
+        return self.tile_rows * self.tile_h - (self.tile_rows - 1) * self.overlap_y
+
+    @property
+    def row_bytes(self) -> int:
+        return self.display_w * self.bytes_per_pixel
+
+    @property
+    def frame_bytes(self) -> int:
+        return self.display_h * self.row_bytes
+
+    def tile_origin(self, rank: int) -> tuple[int, int]:
+        r, c = divmod(rank, self.tile_cols)
+        return (
+            r * (self.tile_h - self.overlap_y),
+            c * (self.tile_w - self.overlap_x),
+        )
+
+    # -- datatypes ------------------------------------------------------
+    def filetype(self, rank: int) -> Datatype:
+        ft = self._filetypes.get(rank)
+        if ft is None:
+            y0, x0 = self.tile_origin(rank)
+            ft = subarray(
+                [self.display_h, self.row_bytes],
+                [self.tile_h, self.tile_w * self.bytes_per_pixel],
+                [y0, x0 * self.bytes_per_pixel],
+                BYTE,
+            )
+            self._filetypes[rank] = ft
+        return ft
+
+    def memtype(self, rank: int) -> Datatype:
+        mt = self._memtypes.get(0)
+        if mt is None:
+            mt = contiguous(
+                self.tile_h * self.tile_w * self.bytes_per_pixel, BYTE
+            )
+            self._memtypes[0] = mt
+        return mt
+
+    def displacement(self, rank: int, rep: int) -> int:
+        return rep * self.frame_bytes
+
+    @classmethod
+    def paper(cls, frames: int = 100) -> "TileWorkload":
+        return cls(repetitions=frames)
+
+    @classmethod
+    def reduced(cls, frames: int = 2) -> "TileWorkload":
+        return cls(
+            tile_w=32,
+            tile_h=24,
+            overlap_x=8,
+            overlap_y=4,
+            repetitions=frames,
+        )
+
+
+# ----------------------------------------------------------------------
+# §4.3 ROMIO three-dimensional block test (coll_perf)
+# ----------------------------------------------------------------------
+@dataclass
+class Block3DWorkload(Workload):
+    """3-D block-distributed array access (paper §4.3, Fig. 9/10, Table 2).
+
+    A ``grid³`` array of ints, block-decomposed over ``m³`` processes;
+    each process accesses one cubic block.  Memory is contiguous.
+    Paper scale: grid=600, m ∈ {2, 3, 4} (8/27/64 clients).
+    """
+
+    grid: int = 600
+    clients_per_dim: int = 2
+    is_write: bool = False
+    name: str = "block3d"
+    path: str = "/cube"
+
+    def __post_init__(self):
+        if self.grid % self.clients_per_dim:
+            raise ValueError(
+                f"grid {self.grid} not divisible by {self.clients_per_dim}"
+            )
+        self.n_clients = self.clients_per_dim**3
+        self._filetypes: dict[int, Datatype] = {}
+        self._memtype: Optional[Datatype] = None
+
+    @property
+    def block(self) -> int:
+        return self.grid // self.clients_per_dim
+
+    def block_origin(self, rank: int) -> tuple[int, int, int]:
+        m = self.clients_per_dim
+        i, rest = divmod(rank, m * m)
+        j, k = divmod(rest, m)
+        return i * self.block, j * self.block, k * self.block
+
+    def filetype(self, rank: int) -> Datatype:
+        ft = self._filetypes.get(rank)
+        if ft is None:
+            z0, y0, x0 = self.block_origin(rank)
+            b = self.block
+            g = self.grid
+            ft = subarray([g, g, g], [b, b, b], [z0, y0, x0], INT)
+            self._filetypes[rank] = ft
+        return ft
+
+    def memtype(self, rank: int) -> Datatype:
+        if self._memtype is None:
+            self._memtype = contiguous(self.block**3, INT)
+        return self._memtype
+
+    @classmethod
+    def paper(cls, clients_per_dim: int = 2, is_write: bool = False):
+        return cls(grid=600, clients_per_dim=clients_per_dim, is_write=is_write)
+
+    @classmethod
+    def reduced(cls, clients_per_dim: int = 2, is_write: bool = False):
+        return cls(grid=24, clients_per_dim=clients_per_dim, is_write=is_write)
+
+
+# ----------------------------------------------------------------------
+# §4.4 FLASH I/O simulation
+# ----------------------------------------------------------------------
+@dataclass
+class FlashWorkload(Workload):
+    """FLASH checkpoint I/O (paper §4.4, Fig. 11/12, Table 3).
+
+    In memory each rank holds ``nblocks`` AMR blocks; a block is an
+    ``(nxb+2g)³`` array of cells *including guard cells*, each cell an
+    array-of-struct of ``nvar`` 8-byte variables.  The checkpoint
+    writes only interior cells, reorganized variable-major in the file:
+    all of variable 0 (rank 0's blocks, rank 1's blocks, ...), then
+    variable 1, and so on.  Noncontiguous in memory *and* file.
+
+    Paper scale: 80 blocks/rank, 8³ interior, 4 guard cells, 24
+    variables → 7.5 MiB per rank.
+    """
+
+    n_clients: int = 8
+    nblocks: int = 80
+    nxb: int = 8
+    nguard: int = 4
+    nvar: int = 24
+    elem: int = 8
+    is_write: bool = True
+    name: str = "flash"
+    path: str = "/checkpoint"
+
+    def __post_init__(self):
+        self._memtype: Optional[Datatype] = None
+        self._filetypes: dict[int, Datatype] = {}
+
+    # -- geometry -------------------------------------------------------
+    @property
+    def cells_interior(self) -> int:
+        return self.nxb**3
+
+    @property
+    def side_full(self) -> int:
+        return self.nxb + 2 * self.nguard
+
+    @property
+    def block_mem_bytes(self) -> int:
+        return self.side_full**3 * self.nvar * self.elem
+
+    @property
+    def block_file_bytes(self) -> int:
+        """One block's data for one variable in file."""
+        return self.cells_interior * self.elem
+
+    def bytes_per_client_per_rep(self) -> int:
+        return self.nblocks * self.cells_interior * self.nvar * self.elem
+
+    # -- datatypes ------------------------------------------------------
+    def memtype(self, rank: int) -> Datatype:
+        """AoS → stream in file order: var-major, block, z, y, x."""
+        if self._memtype is not None:
+            return self._memtype
+        s = self.side_full
+        g = self.nguard
+        n = self.nxb
+        cell_stride = self.nvar * self.elem
+        # one variable's interior of one block: nested strided doubles
+        tx = hvector(n, 1, cell_stride, DOUBLE)
+        ty = hvector(n, 1, s * cell_stride, tx)
+        tz = hvector(n, 1, s * s * cell_stride, ty)
+        interior0 = ((g * s + g) * s + g) * cell_stride
+        fields = []
+        disps = []
+        for v in range(self.nvar):
+            for b in range(self.nblocks):
+                fields.append(tz)
+                disps.append(b * self.block_mem_bytes + interior0 + v * self.elem)
+        self._memtype = struct([1] * len(fields), disps, fields)
+        return self._memtype
+
+    def filetype(self, rank: int) -> Datatype:
+        """Variable-major file layout; this rank's slot in each section."""
+        ft = self._filetypes.get(rank)
+        if ft is None:
+            per_rank_var = self.nblocks * self.cells_interior  # elements
+            section = per_rank_var * self.n_clients
+            ft = vector(self.nvar, per_rank_var, section, DOUBLE)
+            self._filetypes[rank] = ft
+        return ft
+
+    def displacement(self, rank: int, rep: int) -> int:
+        return rank * self.nblocks * self.block_file_bytes
+
+    def fill_buffer(self, rank: int) -> np.ndarray:
+        """Full in-memory block set, guard cells included."""
+        n = self.nblocks * self.block_mem_bytes
+        rng = np.random.default_rng(77 + rank)
+        return rng.integers(0, 256, n, dtype=np.uint8)
+
+    @classmethod
+    def paper(cls, n_clients: int = 8) -> "FlashWorkload":
+        return cls(n_clients=n_clients)
+
+    @classmethod
+    def reduced(cls, n_clients: int = 2) -> "FlashWorkload":
+        return cls(n_clients=n_clients, nblocks=4, nxb=4, nguard=2, nvar=3)

@@ -1,0 +1,478 @@
+"""The :class:`Dataloop` descriptor.
+
+A dataloop describes how one instance of a type lays its data out in a
+byte space, using exactly five kinds (paper §3.2 / Gropp et al. [6]):
+
+``contig``
+    ``count`` repetitions of the child placed back-to-back (stride is
+    the child's extent).  Final form: ``count`` dense elements.
+``vector``
+    ``count`` blocks of ``blocksize`` child instances, block *i* at byte
+    ``i * stride``.
+``blockindexed``
+    ``count`` blocks of constant ``blocksize`` at explicit byte offsets.
+``indexed``
+    ``count`` blocks of per-block sizes at explicit byte offsets.
+``struct``
+    heterogeneous fields: ``blocksizes[i]`` instances of
+    ``children[i]`` at byte ``offsets[i]``.
+
+A loop with ``is_final`` has no child; its unit is a dense element of
+``el_size`` bytes.  Every loop records its ``extent`` (the byte stride
+between consecutive instances when tiled), which is all that remains of
+MPI's LB/UB machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..regions import Regions
+
+__all__ = ["Dataloop", "KINDS"]
+
+KINDS = ("contig", "vector", "blockindexed", "indexed", "struct")
+
+_I64 = np.int64
+
+
+class Dataloop:
+    """Immutable dataloop node.
+
+    Use the classmethod constructors; the raw ``__init__`` performs full
+    validation and computes derived stream metrics:
+
+    ``data_size``
+        packed-stream bytes produced by one instance;
+    ``region_count``
+        leaf runs per instance (before any cross-block coalescing) — an
+        exact count of the offset–length pairs processing will create;
+    ``depth``
+        nesting depth (final loops are depth 1).
+    """
+
+    __slots__ = (
+        "kind",
+        "count",
+        "extent",
+        "is_final",
+        "el_size",
+        "blocksize",
+        "blocksizes",
+        "stride",
+        "offsets",
+        "children",
+        "data_size",
+        "region_count",
+        "depth",
+        "_block_stream_cum",
+        "_flat_cache",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        count: int,
+        extent: int,
+        *,
+        is_final: bool = False,
+        el_size: int = 0,
+        blocksize: int = 0,
+        blocksizes: Optional[Sequence[int]] = None,
+        stride: int = 0,
+        offsets: Optional[Sequence[int]] = None,
+        children: Sequence["Dataloop"] = (),
+    ):
+        if kind not in KINDS:
+            raise ValueError(f"unknown dataloop kind {kind!r}")
+        if count < 0:
+            raise ValueError("negative count")
+        self.kind = kind
+        self.count = int(count)
+        self.extent = int(extent)
+        self.is_final = bool(is_final)
+        self.el_size = int(el_size)
+        self.blocksize = int(blocksize)
+        self.stride = int(stride)
+        self.blocksizes = (
+            None
+            if blocksizes is None
+            else np.asarray(blocksizes, dtype=_I64)
+        )
+        self.offsets = (
+            None if offsets is None else np.asarray(offsets, dtype=_I64)
+        )
+        self.children = tuple(children)
+        self._validate()
+        self._compute_metrics()
+        self._flat_cache: Regions | None = None
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        k = self.kind
+        if self.is_final:
+            if k == "struct":
+                raise ValueError("struct loops cannot be final")
+            if self.children:
+                raise ValueError("final loops have no children")
+            if self.el_size <= 0:
+                raise ValueError("final loops need a positive el_size")
+        else:
+            if k == "struct":
+                if self.blocksizes is None or self.offsets is None:
+                    raise ValueError("struct needs blocksizes and offsets")
+                if not (
+                    len(self.children)
+                    == len(self.blocksizes)
+                    == len(self.offsets)
+                    == self.count
+                ):
+                    raise ValueError(
+                        "struct children/blocksizes/offsets must match count"
+                    )
+            else:
+                if len(self.children) != 1:
+                    raise ValueError(f"non-final {k} loop needs one child")
+        if k in ("vector", "blockindexed"):
+            if self.blocksize < 0:
+                raise ValueError("negative blocksize")
+        if k in ("blockindexed", "indexed"):
+            if self.offsets is None or len(self.offsets) != self.count:
+                raise ValueError(f"{k} needs {self.count} offsets")
+        if k == "indexed":
+            if self.blocksizes is None or len(self.blocksizes) != self.count:
+                raise ValueError("indexed needs per-block sizes")
+
+    def _compute_metrics(self) -> None:
+        k = self.kind
+        if self.is_final:
+            unit_bytes = self.el_size
+            unit_regions = 1
+        elif k != "struct":
+            unit_bytes = self.children[0].data_size
+            unit_regions = self.children[0].region_count
+
+        if k == "contig":
+            self.data_size = self.count * unit_bytes
+            # final contig is a single dense run
+            self.region_count = 1 if self.is_final else self.count * unit_regions
+            block_bytes = None
+        elif k == "vector":
+            per_block = self.blocksize * unit_bytes
+            self.data_size = self.count * per_block
+            self.region_count = self.count * (
+                1 if self.is_final else self.blocksize * unit_regions
+            )
+            block_bytes = None
+        elif k == "blockindexed":
+            per_block = self.blocksize * unit_bytes
+            self.data_size = self.count * per_block
+            self.region_count = self.count * (
+                1 if self.is_final else self.blocksize * unit_regions
+            )
+            block_bytes = None
+        elif k == "indexed":
+            sizes = self.blocksizes * unit_bytes
+            self.data_size = int(sizes.sum()) if self.count else 0
+            if self.is_final:
+                self.region_count = self.count
+            else:
+                self.region_count = int(self.blocksizes.sum()) * unit_regions
+            block_bytes = sizes
+        else:  # struct
+            sizes = np.array(
+                [
+                    int(bs) * ch.data_size
+                    for bs, ch in zip(self.blocksizes, self.children)
+                ],
+                dtype=_I64,
+            )
+            self.data_size = int(sizes.sum()) if self.count else 0
+            self.region_count = int(
+                sum(
+                    int(bs) * ch.region_count
+                    for bs, ch in zip(self.blocksizes, self.children)
+                )
+            )
+            block_bytes = sizes
+
+        # cumulative stream start of each block (indexed/struct only)
+        if block_bytes is not None and self.count:
+            cum = np.empty(self.count + 1, dtype=_I64)
+            cum[0] = 0
+            np.cumsum(block_bytes, out=cum[1:])
+            self._block_stream_cum = cum
+        else:
+            self._block_stream_cum = None
+
+        if self.is_final:
+            self.depth = 1
+        elif k == "struct":
+            self.depth = 1 + max(
+                (c.depth for c in self.children), default=0
+            )
+        else:
+            self.depth = 1 + self.children[0].depth
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def final_contig(cls, count: int, el_size: int, extent: int | None = None):
+        """``count`` dense elements of ``el_size`` bytes."""
+        if extent is None:
+            extent = count * el_size
+        return cls("contig", count, extent, is_final=True, el_size=el_size)
+
+    @classmethod
+    def contig(cls, count: int, child: "Dataloop", extent: int | None = None):
+        if extent is None:
+            extent = count * child.extent
+        return cls("contig", count, extent, children=(child,))
+
+    @classmethod
+    def final_vector(
+        cls,
+        count: int,
+        blocksize: int,
+        stride: int,
+        el_size: int,
+        extent: int | None = None,
+    ):
+        if extent is None:
+            extent = (
+                (count - 1) * stride + blocksize * el_size if count else 0
+            )
+        return cls(
+            "vector",
+            count,
+            extent,
+            is_final=True,
+            el_size=el_size,
+            blocksize=blocksize,
+            stride=stride,
+        )
+
+    @classmethod
+    def vector(
+        cls,
+        count: int,
+        blocksize: int,
+        stride: int,
+        child: "Dataloop",
+        extent: int | None = None,
+    ):
+        if extent is None:
+            extent = (
+                (count - 1) * stride + blocksize * child.extent if count else 0
+            )
+        return cls(
+            "vector",
+            count,
+            extent,
+            blocksize=blocksize,
+            stride=stride,
+            children=(child,),
+        )
+
+    @classmethod
+    def final_blockindexed(
+        cls,
+        blocksize: int,
+        offsets: Sequence[int],
+        el_size: int,
+        extent: int,
+    ):
+        return cls(
+            "blockindexed",
+            len(offsets),
+            extent,
+            is_final=True,
+            el_size=el_size,
+            blocksize=blocksize,
+            offsets=offsets,
+        )
+
+    @classmethod
+    def blockindexed(
+        cls,
+        blocksize: int,
+        offsets: Sequence[int],
+        child: "Dataloop",
+        extent: int,
+    ):
+        return cls(
+            "blockindexed",
+            len(offsets),
+            extent,
+            blocksize=blocksize,
+            offsets=offsets,
+            children=(child,),
+        )
+
+    @classmethod
+    def final_indexed(
+        cls,
+        blocksizes: Sequence[int],
+        offsets: Sequence[int],
+        el_size: int,
+        extent: int,
+    ):
+        return cls(
+            "indexed",
+            len(offsets),
+            extent,
+            is_final=True,
+            el_size=el_size,
+            blocksizes=blocksizes,
+            offsets=offsets,
+        )
+
+    @classmethod
+    def indexed(
+        cls,
+        blocksizes: Sequence[int],
+        offsets: Sequence[int],
+        child: "Dataloop",
+        extent: int,
+    ):
+        return cls(
+            "indexed",
+            len(offsets),
+            extent,
+            blocksizes=blocksizes,
+            offsets=offsets,
+            children=(child,),
+        )
+
+    @classmethod
+    def struct(
+        cls,
+        blocksizes: Sequence[int],
+        offsets: Sequence[int],
+        children: Sequence["Dataloop"],
+        extent: int,
+    ):
+        return cls(
+            "struct",
+            len(children),
+            extent,
+            blocksizes=blocksizes,
+            offsets=offsets,
+            children=children,
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def resized(cls, loop: "Dataloop", extent: int) -> "Dataloop":
+        """Copy of ``loop`` with a different extent (no other overhead)."""
+        if extent == loop.extent:
+            return loop
+        return cls(
+            loop.kind,
+            loop.count,
+            extent,
+            is_final=loop.is_final,
+            el_size=loop.el_size,
+            blocksize=loop.blocksize,
+            blocksizes=loop.blocksizes,
+            stride=loop.stride,
+            offsets=loop.offsets,
+            children=loop.children,
+        )
+
+    # ------------------------------------------------------------------
+    # structure inspection
+    # ------------------------------------------------------------------
+    def node_count(self) -> int:
+        """Number of dataloop nodes in this tree."""
+        return 1 + sum(c.node_count() for c in self.children)
+
+    def describe(self, indent: int = 0) -> str:
+        """Multi-line structural dump (for debugging and docs)."""
+        pad = "  " * indent
+        parts = [f"{self.kind}(count={self.count}, extent={self.extent}"]
+        if self.is_final:
+            parts.append(f", final el_size={self.el_size}")
+        if self.kind == "vector":
+            parts.append(f", blocksize={self.blocksize}, stride={self.stride}")
+        if self.kind == "blockindexed":
+            parts.append(f", blocksize={self.blocksize}, #offsets={self.count}")
+        if self.kind == "indexed":
+            parts.append(f", #blocks={self.count}")
+        parts.append(")")
+        lines = [pad + "".join(parts)]
+        for c in self.children:
+            lines.append(c.describe(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Dataloop {self.kind} count={self.count} "
+            f"data_size={self.data_size} regions={self.region_count} "
+            f"depth={self.depth}>"
+        )
+
+    # ------------------------------------------------------------------
+    # full flattening (analysis path; the streaming path lives in
+    # segment.py and never materializes more than a chunk)
+    # ------------------------------------------------------------------
+    def flatten_full(self) -> Regions:
+        """All regions of one instance, traversal order, coalesced."""
+        if self._flat_cache is None:
+            self._flat_cache = self._flatten_one().coalesce()
+        return self._flat_cache
+
+    def _flatten_one(self) -> Regions:
+        k = self.kind
+        if self.is_final:
+            if k == "contig":
+                return Regions.single(0, self.count * self.el_size)
+            if k == "vector":
+                offs = np.arange(self.count, dtype=_I64) * _I64(self.stride)
+                lens = np.full(
+                    self.count, self.blocksize * self.el_size, dtype=_I64
+                )
+                return Regions(offs, lens)
+            if k == "blockindexed":
+                lens = np.full(
+                    self.count, self.blocksize * self.el_size, dtype=_I64
+                )
+                return Regions(self.offsets.copy(), lens)
+            # indexed
+            return Regions(self.offsets.copy(), self.blocksizes * self.el_size)
+
+        if k == "struct":
+            parts = []
+            for i in range(self.count):
+                bs = int(self.blocksizes[i])
+                off = int(self.offsets[i])
+                ch = self.children[i]
+                parts.append(
+                    ch.flatten_full().tile(bs, ch.extent).shift(off)
+                )
+            return Regions.concat(parts)
+
+        child = self.children[0]
+        inner = child.flatten_full()
+        if k == "contig":
+            return inner.tile(self.count, child.extent)
+        if k == "vector":
+            block = inner.tile(self.blocksize, child.extent).coalesce()
+            return block.tile(self.count, self.stride)
+        if k == "blockindexed":
+            block = inner.tile(self.blocksize, child.extent).coalesce()
+            parts = [
+                block.shift(int(o)) for o in self.offsets
+            ]
+            return Regions.concat(parts)
+        # indexed
+        parts = []
+        for i in range(self.count):
+            bs = int(self.blocksizes[i])
+            parts.append(
+                inner.tile(bs, child.extent).shift(int(self.offsets[i]))
+            )
+        return Regions.concat(parts)

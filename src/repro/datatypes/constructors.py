@@ -1,0 +1,600 @@
+"""Derived-datatype constructors.
+
+Each factory returns an immutable :class:`~repro.datatypes.base.Datatype`
+whose bounds are computed analytically (no typemap materialization) and
+whose flattening path is vectorized.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..regions import Regions
+from .base import Datatype, PrimitiveType
+
+__all__ = [
+    "contiguous",
+    "vector",
+    "hvector",
+    "indexed",
+    "hindexed",
+    "indexed_block",
+    "hindexed_block",
+    "struct",
+    "subarray",
+    "resized",
+    "dup",
+    "ContiguousType",
+    "VectorType",
+    "IndexedType",
+    "StructType",
+    "SubarrayType",
+    "ResizedType",
+    "DupType",
+]
+
+
+def _check_count(count: int, what: str = "count") -> int:
+    count = int(count)
+    if count < 0:
+        raise ValueError(f"negative {what}: {count}")
+    return count
+
+
+def _check_type(t) -> Datatype:
+    if not isinstance(t, Datatype):
+        raise TypeError(f"expected a Datatype, got {type(t).__name__}")
+    return t
+
+
+def _block_bounds(disp: int, bl: int, old: Datatype):
+    """Bounds contributed by ``bl`` consecutive instances of ``old`` at ``disp``.
+
+    Returns ``(lb, ub, true_lb, true_ub)`` — the true bounds are ``None``
+    when ``old`` carries no data (zero-size types still have lb/ub, as
+    MPI's old LB/UB marker types did, but no true extent).  Returns
+    ``None`` for an empty (``bl == 0``) block.
+    """
+    if bl == 0:
+        return None
+    span = (bl - 1) * old.extent
+    lo_shift, hi_shift = (span, 0) if span < 0 else (0, span)
+    has_data = old.size > 0
+    return (
+        disp + old.lb + lo_shift,
+        disp + old.ub + hi_shift,
+        disp + old.true_lb + lo_shift if has_data else None,
+        disp + old.true_ub + hi_shift if has_data else None,
+    )
+
+
+def _combine_bounds(blocks) -> tuple[int, int, int, int]:
+    """Fold per-block bounds; empty input yields the zero bounds."""
+    blocks = [b for b in blocks if b is not None]
+    if not blocks:
+        return (0, 0, 0, 0)
+    lbs, ubs, tlbs, tubs = zip(*blocks)
+    tlbs = [x for x in tlbs if x is not None]
+    tubs = [x for x in tubs if x is not None]
+    return (
+        min(lbs),
+        max(ubs),
+        min(tlbs) if tlbs else 0,
+        max(tubs) if tubs else 0,
+    )
+
+
+def _dense_block_regions(
+    old: Datatype, disps: np.ndarray, bls: np.ndarray
+) -> Regions | None:
+    """Vectorized fast path: each block is one dense run.
+
+    Valid when one instance of ``old`` flattens to a single run covering
+    its whole extent (``size == extent``); then ``bl`` tiled instances
+    are one run of ``bl * size`` bytes.
+    """
+    one = old.flatten()
+    if old.size == 0:
+        return Regions.empty()
+    if one.count != 1 or old.size != old.extent:
+        return None
+    o0 = int(one.offsets[0])
+    return Regions(disps + o0, bls * old.size)
+
+
+def _indexed_flatten(
+    old: Datatype, disps_bytes: Sequence[int], bls: Sequence[int]
+) -> Regions:
+    """Flatten blocks of ``old`` at byte displacements, traversal order."""
+    disps = np.asarray(disps_bytes, dtype=np.int64)
+    blsa = np.asarray(bls, dtype=np.int64)
+    fast = _dense_block_regions(old, disps, blsa)
+    if fast is not None:
+        return fast.coalesce()
+    parts = []
+    one = old.flatten()
+    for d, bl in zip(disps.tolist(), blsa.tolist()):
+        if bl == 0:
+            continue
+        parts.append(one.tile(bl, old.extent).shift(d))
+    return Regions.concat(parts).coalesce()
+
+
+# ----------------------------------------------------------------------
+# contiguous
+# ----------------------------------------------------------------------
+class ContiguousType(Datatype):
+    __slots__ = ("count", "oldtype")
+
+    combiner = "contiguous"
+
+    def __init__(self, count: int, oldtype: Datatype):
+        count = _check_count(count)
+        old = _check_type(oldtype)
+        lb, ub, tlb, tub = _combine_bounds([_block_bounds(0, count, old)])
+        super().__init__(count * old.size, lb, ub, tlb, tub)
+        self.count = count
+        self.oldtype = old
+
+    def contents(self):
+        return ((self.count,), (), (self.oldtype,))
+
+    def _flatten_one(self) -> Regions:
+        return (
+            self.oldtype.flatten()
+            .tile(self.count, self.oldtype.extent)
+            .coalesce()
+        )
+
+    def _typemap_into(self, disp, out):
+        for i in range(self.count):
+            self.oldtype._typemap_into(disp + i * self.oldtype.extent, out)
+
+    def describe(self) -> str:
+        return f"contiguous({self.count}, {self.oldtype.describe()})"
+
+
+def contiguous(count: int, oldtype: Datatype) -> Datatype:
+    """``MPI_Type_contiguous``: ``count`` back-to-back instances."""
+    return ContiguousType(count, oldtype)
+
+
+# ----------------------------------------------------------------------
+# vector / hvector
+# ----------------------------------------------------------------------
+class VectorType(Datatype):
+    __slots__ = (
+        "count",
+        "blocklength",
+        "stride",
+        "stride_bytes",
+        "oldtype",
+        "combiner",
+    )
+
+    def __init__(
+        self,
+        count: int,
+        blocklength: int,
+        stride: int,
+        oldtype: Datatype,
+        *,
+        bytes_stride: bool,
+    ):
+        count = _check_count(count)
+        blocklength = _check_count(blocklength, "blocklength")
+        old = _check_type(oldtype)
+        stride = int(stride)
+        sb = stride if bytes_stride else stride * old.extent
+        blocks = [
+            _block_bounds(i * sb, blocklength, old) for i in range(min(count, 2))
+        ]
+        if count > 2:
+            blocks.append(_block_bounds((count - 1) * sb, blocklength, old))
+        lb, ub, tlb, tub = _combine_bounds(blocks if count else [])
+        super().__init__(count * blocklength * old.size, lb, ub, tlb, tub)
+        self.count = count
+        self.blocklength = blocklength
+        self.stride = stride
+        self.stride_bytes = sb
+        self.oldtype = old
+        self.combiner = "hvector" if bytes_stride else "vector"
+
+    def contents(self):
+        if self.combiner == "vector":
+            return ((self.count, self.blocklength, self.stride), (), (self.oldtype,))
+        return ((self.count, self.blocklength), (self.stride,), (self.oldtype,))
+
+    def _flatten_one(self) -> Regions:
+        block = (
+            self.oldtype.flatten()
+            .tile(self.blocklength, self.oldtype.extent)
+            .coalesce()
+        )
+        return block.tile(self.count, self.stride_bytes).coalesce()
+
+    def _typemap_into(self, disp, out):
+        for i in range(self.count):
+            base = disp + i * self.stride_bytes
+            for j in range(self.blocklength):
+                self.oldtype._typemap_into(base + j * self.oldtype.extent, out)
+
+    def describe(self) -> str:
+        return (
+            f"{self.combiner}(count={self.count}, bl={self.blocklength}, "
+            f"stride={self.stride}, {self.oldtype.describe()})"
+        )
+
+
+def vector(count: int, blocklength: int, stride: int, oldtype: Datatype) -> Datatype:
+    """``MPI_Type_vector``: strided blocks, stride in *elements* of oldtype."""
+    return VectorType(count, blocklength, stride, oldtype, bytes_stride=False)
+
+
+def hvector(count: int, blocklength: int, stride: int, oldtype: Datatype) -> Datatype:
+    """``MPI_Type_create_hvector``: strided blocks, stride in *bytes*."""
+    return VectorType(count, blocklength, stride, oldtype, bytes_stride=True)
+
+
+# ----------------------------------------------------------------------
+# indexed family
+# ----------------------------------------------------------------------
+class IndexedType(Datatype):
+    __slots__ = (
+        "blocklengths",
+        "displacements",
+        "disps_bytes",
+        "oldtype",
+        "_uniform_bl",
+        "combiner",
+    )
+
+    def __init__(
+        self,
+        blocklengths: Sequence[int],
+        displacements: Sequence[int],
+        oldtype: Datatype,
+        *,
+        bytes_disps: bool,
+        uniform_bl: bool = False,
+    ):
+        old = _check_type(oldtype)
+        bls = [(_check_count(b, "blocklength")) for b in blocklengths]
+        disps = [int(d) for d in displacements]
+        if len(bls) != len(disps):
+            raise ValueError(
+                f"blocklengths ({len(bls)}) and displacements ({len(disps)}) "
+                "must have equal length"
+            )
+        db = disps if bytes_disps else [d * old.extent for d in disps]
+        lb, ub, tlb, tub = _combine_bounds(
+            _block_bounds(d, bl, old) for d, bl in zip(db, bls)
+        )
+        super().__init__(sum(bls) * old.size, lb, ub, tlb, tub)
+        self.blocklengths = tuple(bls)
+        self.displacements = tuple(disps)
+        self.disps_bytes = tuple(db)
+        self.oldtype = old
+        self._uniform_bl = uniform_bl
+        if uniform_bl:
+            self.combiner = "hindexed_block" if bytes_disps else "indexed_block"
+        else:
+            self.combiner = "hindexed" if bytes_disps else "indexed"
+
+    @property
+    def block_count(self) -> int:
+        return len(self.blocklengths)
+
+    def contents(self):
+        n = self.block_count
+        if self.combiner == "indexed":
+            return (
+                (n, *self.blocklengths, *self.displacements),
+                (),
+                (self.oldtype,),
+            )
+        if self.combiner == "hindexed":
+            return ((n, *self.blocklengths), self.displacements, (self.oldtype,))
+        bl = self.blocklengths[0] if n else 0
+        if self.combiner == "indexed_block":
+            return ((n, bl, *self.displacements), (), (self.oldtype,))
+        return ((n, bl), self.displacements, (self.oldtype,))
+
+    def _flatten_one(self) -> Regions:
+        return _indexed_flatten(self.oldtype, self.disps_bytes, self.blocklengths)
+
+    def _typemap_into(self, disp, out):
+        for d, bl in zip(self.disps_bytes, self.blocklengths):
+            for j in range(bl):
+                self.oldtype._typemap_into(
+                    disp + d + j * self.oldtype.extent, out
+                )
+
+    def describe(self) -> str:
+        return (
+            f"{self.combiner}(blocks={self.block_count}, "
+            f"{self.oldtype.describe()})"
+        )
+
+
+def indexed(
+    blocklengths: Sequence[int],
+    displacements: Sequence[int],
+    oldtype: Datatype,
+) -> Datatype:
+    """``MPI_Type_indexed``: displacements in elements of oldtype."""
+    return IndexedType(blocklengths, displacements, oldtype, bytes_disps=False)
+
+
+def hindexed(
+    blocklengths: Sequence[int],
+    displacements: Sequence[int],
+    oldtype: Datatype,
+) -> Datatype:
+    """``MPI_Type_create_hindexed``: displacements in bytes."""
+    return IndexedType(blocklengths, displacements, oldtype, bytes_disps=True)
+
+
+def indexed_block(
+    blocklength: int, displacements: Sequence[int], oldtype: Datatype
+) -> Datatype:
+    """``MPI_Type_create_indexed_block``: constant blocklength."""
+    bls = [blocklength] * len(displacements)
+    return IndexedType(
+        bls, displacements, oldtype, bytes_disps=False, uniform_bl=True
+    )
+
+
+def hindexed_block(
+    blocklength: int, displacements: Sequence[int], oldtype: Datatype
+) -> Datatype:
+    """``MPI_Type_create_hindexed_block``: constant blocklength, byte disps."""
+    bls = [blocklength] * len(displacements)
+    return IndexedType(
+        bls, displacements, oldtype, bytes_disps=True, uniform_bl=True
+    )
+
+
+# ----------------------------------------------------------------------
+# struct
+# ----------------------------------------------------------------------
+class StructType(Datatype):
+    __slots__ = ("blocklengths", "displacements", "types")
+
+    combiner = "struct"
+
+    def __init__(
+        self,
+        blocklengths: Sequence[int],
+        displacements: Sequence[int],
+        types: Sequence[Datatype],
+    ):
+        bls = [(_check_count(b, "blocklength")) for b in blocklengths]
+        disps = [int(d) for d in displacements]
+        ts = [_check_type(t) for t in types]
+        if not (len(bls) == len(disps) == len(ts)):
+            raise ValueError(
+                "blocklengths, displacements and types must have equal length"
+            )
+        lb, ub, tlb, tub = _combine_bounds(
+            _block_bounds(d, bl, t) for d, bl, t in zip(disps, bls, ts)
+        )
+        super().__init__(
+            sum(bl * t.size for bl, t in zip(bls, ts)), lb, ub, tlb, tub
+        )
+        self.blocklengths = tuple(bls)
+        self.displacements = tuple(disps)
+        self.types = tuple(ts)
+
+    def contents(self):
+        n = len(self.types)
+        return ((n, *self.blocklengths), self.displacements, self.types)
+
+    def _flatten_one(self) -> Regions:
+        parts = []
+        for d, bl, t in zip(self.displacements, self.blocklengths, self.types):
+            if bl == 0 or t.size == 0:
+                continue
+            parts.append(t.flatten().tile(bl, t.extent).shift(d))
+        return Regions.concat(parts).coalesce()
+
+    def _typemap_into(self, disp, out):
+        for d, bl, t in zip(self.displacements, self.blocklengths, self.types):
+            for j in range(bl):
+                t._typemap_into(disp + d + j * t.extent, out)
+
+    def describe(self) -> str:
+        return f"struct(fields={len(self.types)})"
+
+
+def struct(
+    blocklengths: Sequence[int],
+    displacements: Sequence[int],
+    types: Sequence[Datatype],
+) -> Datatype:
+    """``MPI_Type_create_struct``: heterogeneous fields at byte displacements."""
+    return StructType(blocklengths, displacements, types)
+
+
+# ----------------------------------------------------------------------
+# resized / dup
+# ----------------------------------------------------------------------
+class ResizedType(Datatype):
+    __slots__ = ("oldtype",)
+
+    combiner = "resized"
+
+    def __init__(self, oldtype: Datatype, lb: int, extent: int):
+        old = _check_type(oldtype)
+        super().__init__(
+            old.size, int(lb), int(lb) + int(extent), old.true_lb, old.true_ub
+        )
+        self.oldtype = old
+
+    def contents(self):
+        return ((), (self.lb, self.extent), (self.oldtype,))
+
+    def _flatten_one(self) -> Regions:
+        return self.oldtype.flatten()
+
+    def _typemap_into(self, disp, out):
+        self.oldtype._typemap_into(disp, out)
+
+    def describe(self) -> str:
+        return (
+            f"resized(lb={self.lb}, extent={self.extent}, "
+            f"{self.oldtype.describe()})"
+        )
+
+
+def resized(oldtype: Datatype, lb: int, extent: int) -> Datatype:
+    """``MPI_Type_create_resized``: override lb and extent."""
+    return ResizedType(oldtype, lb, extent)
+
+
+class DupType(Datatype):
+    __slots__ = ("oldtype",)
+
+    combiner = "dup"
+
+    def __init__(self, oldtype: Datatype):
+        old = _check_type(oldtype)
+        super().__init__(old.size, old.lb, old.ub, old.true_lb, old.true_ub)
+        self.oldtype = old
+
+    def contents(self):
+        return ((), (), (self.oldtype,))
+
+    def _flatten_one(self) -> Regions:
+        return self.oldtype.flatten()
+
+    def _typemap_into(self, disp, out):
+        self.oldtype._typemap_into(disp, out)
+
+    def describe(self) -> str:
+        return f"dup({self.oldtype.describe()})"
+
+
+def dup(oldtype: Datatype) -> Datatype:
+    """``MPI_Type_dup``."""
+    return DupType(oldtype)
+
+
+# ----------------------------------------------------------------------
+# subarray
+# ----------------------------------------------------------------------
+ORDER_C = "C"
+ORDER_F = "F"
+
+
+def _build_subarray_impl(
+    sizes: Sequence[int],
+    subsizes: Sequence[int],
+    starts: Sequence[int],
+    order: str,
+    old: Datatype,
+) -> Datatype:
+    """Equivalent nested-vector construction of a subarray type."""
+    n = len(sizes)
+    if order == ORDER_F:
+        sizes = list(reversed(sizes))
+        subsizes = list(reversed(subsizes))
+        starts = list(reversed(starts))
+    # After normalization, the last dimension varies fastest (C order).
+    t: Datatype = contiguous(subsizes[-1], old)
+    row_bytes = old.extent
+    dim_strides = [0] * n  # byte stride of one step in dimension i
+    stride = old.extent
+    for i in range(n - 1, -1, -1):
+        dim_strides[i] = stride
+        stride *= sizes[i]
+    full_bytes = stride  # product(sizes) * old.extent
+    del row_bytes
+    for i in range(n - 2, -1, -1):
+        t = hvector(subsizes[i], 1, dim_strides[i], t)
+    start_off = sum(starts[i] * dim_strides[i] for i in range(n))
+    placed = hindexed([1], [start_off], t)
+    return resized(placed, 0, full_bytes)
+
+
+class SubarrayType(Datatype):
+    """``MPI_Type_create_subarray``.
+
+    The resulting type's extent is the full array, with the sub-block at
+    its ``starts`` displacement — so tiling instances steps whole arrays.
+    Internally delegates to an equivalent nested-``hvector`` construction.
+    """
+
+    __slots__ = ("ndims", "sizes", "subsizes", "starts", "order", "oldtype", "_impl")
+
+    combiner = "subarray"
+
+    def __init__(
+        self,
+        sizes: Sequence[int],
+        subsizes: Sequence[int],
+        starts: Sequence[int],
+        order: str,
+        oldtype: Datatype,
+    ):
+        old = _check_type(oldtype)
+        sizes = [int(s) for s in sizes]
+        subsizes = [int(s) for s in subsizes]
+        starts = [int(s) for s in starts]
+        n = len(sizes)
+        if n == 0:
+            raise ValueError("subarray needs at least one dimension")
+        if not (len(subsizes) == len(starts) == n):
+            raise ValueError("sizes, subsizes, starts must have equal length")
+        if order not in (ORDER_C, ORDER_F):
+            raise ValueError(f"order must be 'C' or 'F', got {order!r}")
+        for i in range(n):
+            if sizes[i] <= 0 or subsizes[i] <= 0:
+                raise ValueError("sizes and subsizes must be positive")
+            if starts[i] < 0 or starts[i] + subsizes[i] > sizes[i]:
+                raise ValueError(
+                    f"dimension {i}: sub-block [{starts[i]}, "
+                    f"{starts[i] + subsizes[i]}) outside array of {sizes[i]}"
+                )
+        impl = _build_subarray_impl(sizes, subsizes, starts, order, old)
+        super().__init__(impl.size, impl.lb, impl.ub, impl.true_lb, impl.true_ub)
+        self.ndims = n
+        self.sizes = tuple(sizes)
+        self.subsizes = tuple(subsizes)
+        self.starts = tuple(starts)
+        self.order = order
+        self.oldtype = old
+        self._impl = impl
+
+    def contents(self):
+        order_flag = 0 if self.order == ORDER_C else 1
+        return (
+            (self.ndims, *self.sizes, *self.subsizes, *self.starts, order_flag),
+            (),
+            (self.oldtype,),
+        )
+
+    def _flatten_one(self) -> Regions:
+        return self._impl.flatten()
+
+    def _typemap_into(self, disp, out):
+        self._impl._typemap_into(disp, out)
+
+    def describe(self) -> str:
+        return (
+            f"subarray(sizes={list(self.sizes)}, subsizes={list(self.subsizes)}, "
+            f"starts={list(self.starts)}, order={self.order})"
+        )
+
+
+def subarray(
+    sizes: Sequence[int],
+    subsizes: Sequence[int],
+    starts: Sequence[int],
+    oldtype: Datatype,
+    order: str = ORDER_C,
+) -> Datatype:
+    """``MPI_Type_create_subarray`` (default C order)."""
+    return SubarrayType(sizes, subsizes, starts, order, oldtype)

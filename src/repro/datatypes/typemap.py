@@ -1,0 +1,44 @@
+"""Reference typemap computation.
+
+The *typemap* of a datatype is the ordered list of
+``(displacement, primitive_size)`` entries it denotes (MPI-3.1 §4.1).
+This is the ground-truth semantics; it is exponential to materialize for
+large types, so production paths use :meth:`Datatype.flatten` instead.
+Tests cross-check flatten/pack against this reference on small types.
+"""
+
+from __future__ import annotations
+
+from .base import Datatype
+
+__all__ = ["typemap", "typemap_regions"]
+
+
+def typemap(dtype: Datatype, count: int = 1) -> list[tuple[int, int]]:
+    """Materialize the typemap of ``count`` instances.
+
+    Entries appear in traversal (packed-stream) order; instance ``i`` is
+    displaced by ``i * extent``.
+    """
+    out: list[tuple[int, int]] = []
+    for i in range(count):
+        dtype._typemap_into(i * dtype.extent, out)
+    return out
+
+
+def typemap_regions(dtype: Datatype, count: int = 1) -> list[tuple[int, int]]:
+    """Typemap entries coalesced into maximal contiguous runs.
+
+    Equivalent (by definition) to ``dtype.flatten(count).to_pairs()``;
+    computed independently for cross-checking.
+    """
+    entries = typemap(dtype, count)
+    runs: list[tuple[int, int]] = []
+    for disp, size in entries:
+        if size == 0:
+            continue
+        if runs and runs[-1][0] + runs[-1][1] == disp:
+            runs[-1] = (runs[-1][0], runs[-1][1] + size)
+        else:
+            runs.append((disp, size))
+    return runs

@@ -1,0 +1,36 @@
+"""ROMIO-like MPI-IO layer.
+
+Implements MPI-IO file views and the five access methods the paper
+benchmarks, over the PVFS client library and a simulated MPI runtime:
+
+* ``posix`` — one contiguous file-system operation per contiguous
+  region (§2.1);
+* ``data_sieving`` — large buffered reads / read-modify-write writes
+  (§2.2; writes need file locking, so they are unavailable on PVFS);
+* ``two_phase`` — collective aggregation with file domains and a
+  collective buffer (§2.3);
+* ``list_io`` — flattened offset–length lists, bounded per request
+  (§2.4);
+* ``datatype_io`` — dataloops shipped to the file system (§3).
+
+Entry points: :class:`SimMPI` to spawn ranks, :class:`File` for I/O,
+:data:`METHODS` for the registry.
+"""
+
+from .comm import SimMPI, Comm, RankContext
+from .hints import Hints
+from .view import FileView
+from .file import File, MPIIOCounters
+from .adio import METHODS, register_method
+
+__all__ = [
+    "SimMPI",
+    "Comm",
+    "RankContext",
+    "Hints",
+    "FileView",
+    "File",
+    "MPIIOCounters",
+    "METHODS",
+    "register_method",
+]

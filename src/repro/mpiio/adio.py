@@ -1,0 +1,52 @@
+"""ADIO-style access-method registry.
+
+ROMIO routes file-system specifics through ADIO; here each access
+method is a pair of generator functions ``(read, write)`` operating on
+an :class:`~repro.mpiio.file.IOOperation`.  Methods register by name so
+benchmarks and hints can select them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["METHODS", "register_method", "AccessMethod", "get_method"]
+
+
+@dataclass(frozen=True)
+class AccessMethod:
+    name: str
+    read: Callable
+    write: Callable
+    #: collective methods need every rank of the communicator to call
+    collective: bool = False
+    #: human-readable note for reports
+    description: str = ""
+
+
+METHODS: dict[str, AccessMethod] = {}
+
+
+def register_method(method: AccessMethod) -> AccessMethod:
+    if method.name in METHODS:
+        raise ValueError(f"duplicate access method {method.name!r}")
+    METHODS[method.name] = method
+    return method
+
+
+def get_method(name: str) -> AccessMethod:
+    try:
+        return METHODS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown access method {name!r}; available: {sorted(METHODS)}"
+        ) from None
+
+
+def _autoload() -> None:
+    """Import the built-in strategies (registration side effects)."""
+    from . import methods  # noqa: F401
+
+
+_autoload()

@@ -1,0 +1,52 @@
+"""MPI-IO hints (the subset ROMIO honours that matters here)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["Hints"]
+
+_4MiB = 4 * 1024 * 1024
+
+
+@dataclass
+class Hints:
+    """Tunables, defaulting to the paper's configuration (§4.1).
+
+    "All data sieving and collective operations were conducted with a
+    4 Mbyte buffer size."
+    """
+
+    #: Collective (two-phase) buffer size per aggregator.
+    cb_buffer_size: int = _4MiB
+    #: Number of aggregator ranks (None = all ranks, ROMIO's default
+    #: of one per node collapses to this in the paper's setups).
+    cb_nodes: Optional[int] = None
+    #: Data sieving read buffer.
+    ind_rd_buffer_size: int = _4MiB
+    #: Data sieving write buffer.
+    ind_wr_buffer_size: int = _4MiB
+    #: Default access method for independent operations
+    #: ('posix' | 'data_sieving' | 'list_io' | 'datatype_io').
+    independent_method: str = "datatype_io"
+    #: Collective method ('two_phase' or any independent method name,
+    #: in which case collectives degrade to independent operations).
+    collective_method: str = "two_phase"
+    #: How aggregators write rounds whose incoming data has holes:
+    #: 'rmw' (ROMIO's read-modify-write, the default) or a
+    #: noncontiguous file-system interface — 'list_io' / 'datatype_io'
+    #: — the §5 suggestion of "leveraging datatype I/O underneath
+    #: two-phase I/O".
+    tp_sparse_method: str = "rmw"
+
+    def __post_init__(self):
+        for field in (
+            "cb_buffer_size",
+            "ind_rd_buffer_size",
+            "ind_wr_buffer_size",
+        ):
+            if getattr(self, field) <= 0:
+                raise ValueError(f"{field} must be positive")
+        if self.cb_nodes is not None and self.cb_nodes < 1:
+            raise ValueError("cb_nodes must be positive")

@@ -1,0 +1,5 @@
+"""Built-in access methods (imported for registration side effects)."""
+
+from . import posix, sieving, listio, dtype, twophase  # noqa: F401
+
+__all__ = ["posix", "sieving", "listio", "dtype", "twophase"]

@@ -1,0 +1,47 @@
+"""A PVFS-like parallel file system (paper §3.1).
+
+Functionally real (bytes move, reads verify) and temporally simulated
+(every message and disk access advances the discrete-event clock).
+
+Components, mirroring PVFS 1.5.x:
+
+* a **metadata server** (:mod:`~repro.pvfs.metadata`) owning the
+  namespace and per-file striping parameters; clients contact it only
+  at open/stat time;
+* **I/O servers** (:mod:`~repro.pvfs.server`), single-threaded request
+  loops that turn incoming access descriptions into PVFS *job*/*access*
+  structures (:mod:`~repro.pvfs.jobs`) and move data against their
+  local :class:`~repro.storage.BlockStore`;
+* a **client library** (:mod:`~repro.pvfs.client`) supporting the three
+  access interfaces the paper compares at the file-system level:
+  contiguous (POSIX-style) I/O, **list I/O** (bounded offset–length
+  lists, §2.4) and **datatype I/O** (shipped dataloops, §3);
+* round-robin **striping** (:mod:`~repro.pvfs.distribution`), 64 KiB
+  strips over 16 servers by default, exactly the paper's layout.
+
+Use :class:`PVFS` to assemble a cluster::
+
+    env = Environment()
+    fs = PVFS(env, n_servers=16)
+    client = fs.client("c0")
+"""
+
+from .config import PVFSConfig
+from .system import PVFS
+from .client import PVFSClient, FileHandle
+from .distribution import Distribution
+from .jobs import Job, build_jobs
+from .errors import PVFSError, FileNotFound, LockUnsupported
+
+__all__ = [
+    "PVFS",
+    "PVFSConfig",
+    "PVFSClient",
+    "FileHandle",
+    "Distribution",
+    "Job",
+    "build_jobs",
+    "PVFSError",
+    "FileNotFound",
+    "LockUnsupported",
+]

@@ -1,0 +1,663 @@
+"""PVFS client library.
+
+Exposes the three file-system access interfaces the paper compares:
+
+* :meth:`PVFSClient.read` / :meth:`~PVFSClient.write` — contiguous
+  (POSIX-style) access;
+* :meth:`PVFSClient.read_list` / :meth:`~PVFSClient.write_list` —
+  **list I/O** (§2.4): each operation carries at most
+  ``list_io_max_regions`` offset–length pairs, so the number of
+  file-system operations stays linear in the region count;
+* :meth:`PVFSClient.read_dtype` / :meth:`~PVFSClient.write_dtype` —
+  **datatype I/O** (§3): one operation ships a dataloop plus a stream
+  window; servers expand it themselves.
+
+All I/O methods are generators to be driven inside a simulation process
+(``yield from client.read(...)``).  Data is real unless ``phantom`` is
+requested (paper-scale timing runs account sizes without moving bytes).
+
+Simulation batching (``PVFSConfig.sim_batching``): runs of consecutive
+synchronous list/contig operations that touch an identical server set
+are collapsed into one exchange whose *accounted* cost (per-op client
+and server fixed costs, round-trip latencies, wire bytes) equals the
+sum of the individual operations — see DESIGN.md §5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, TYPE_CHECKING
+
+import numpy as np
+
+from ..dataloops import Dataloop, DataloopStream
+from ..regions import Regions
+from .distribution import Distribution
+from .errors import PVFSError
+from .jobs import Job, build_jobs
+from .protocol import (
+    OP_CONTIG,
+    OP_DTYPE,
+    OP_LIST,
+    DataloopWindow,
+    IORequest,
+    IOResponse,
+    MetaRequest,
+    MetaResponse,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .system import PVFS
+
+__all__ = ["PVFSClient", "FileHandle", "ClientCounters"]
+
+
+@dataclass
+class ClientCounters:
+    """Per-client accounting used by the characteristics tables."""
+
+    io_ops: int = 0  #: file-system level operations issued
+    requests_sent: int = 0  #: messages to I/O servers
+    request_desc_bytes: int = 0  #: request description bytes on the wire
+    bytes_read: int = 0  #: file data received
+    bytes_written: int = 0  #: file data sent
+    regions_shipped: int = 0  #: offset-length pairs sent in list requests
+
+    def reset(self) -> None:
+        self.io_ops = 0
+        self.requests_sent = 0
+        self.request_desc_bytes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.regions_shipped = 0
+
+
+@dataclass
+class FileHandle:
+    """Client-side file state cached at open (PVFS does the same)."""
+
+    handle: int
+    path: str
+    dist: Distribution
+    size: int = 0
+
+
+class _OpGroup:
+    """Consecutive list/contig ops collapsed into one exchange."""
+
+    __slots__ = ("ops", "signature", "stream_base", "nbytes")
+
+    def __init__(self, signature):
+        self.signature = signature
+        self.ops: list[tuple[Regions, dict[int, Job]]] = []
+        self.stream_base: list[int] = []
+        self.nbytes = 0
+
+    def add(self, regions: Regions, jobs: dict[int, Job]) -> None:
+        self.stream_base.append(self.nbytes)
+        self.ops.append((regions, jobs))
+        self.nbytes += regions.total_bytes
+
+
+class PVFSClient:
+    """A file-system client living on one cluster node."""
+
+    def __init__(self, system: "PVFS", node, name: str):
+        self.system = system
+        self.node = node
+        self.name = name
+        self.mailbox = system.net.mailbox(node, f"pvfs:{name}")
+        self.counters = ClientCounters()
+        self._next_req = 0
+        # datatype cache (PVFSConfig.datatype_cache): converted loops,
+        # expansion results, and per-server registration state
+        self._converted_loops: set[int] = set()
+        self._expansion_cache: dict[tuple, "Regions"] = {}
+        self._server_knows_loop: set[tuple[int, int]] = set()
+        # responses that arrived while another operation was waiting
+        # (concurrent nonblocking operations share this mailbox)
+        self._resp_stash: dict[int, object] = {}
+
+    # ------------------------------------------------------------------
+    # metadata operations
+    # ------------------------------------------------------------------
+    def open(self, path: str, create: bool = True):
+        """Open (optionally creating) a file; returns a FileHandle."""
+        resp = yield from self._meta_rpc(
+            MetaRequest("open", path=path, create=create)
+        )
+        return FileHandle(
+            handle=resp.handle,
+            path=path,
+            dist=Distribution(resp.n_servers, resp.strip_size),
+            size=resp.size,
+        )
+
+    def stat(self, fh: FileHandle):
+        """Query the current logical file size."""
+        resp = yield from self._meta_rpc(
+            MetaRequest("stat", handle=fh.handle)
+        )
+        fh.size = resp.size
+        return resp.size
+
+    def unlink(self, path: str):
+        yield from self._meta_rpc(MetaRequest("unlink", path=path))
+
+    def _meta_rpc(self, req: MetaRequest):
+        env = self.system.env
+        costs = self.system.costs
+        req.req_id = self._req_id()
+        req.reply_to = self.mailbox
+        yield from self.system.net.send(
+            self.mailbox,
+            self.system.metadata.mailbox,
+            req.wire_bytes(costs.header_bytes),
+            payload=req,
+        )
+        resp: MetaResponse = yield from self._await_response(req.req_id)
+        if resp.error:
+            raise PVFSError(resp.error)
+        return resp
+
+    def _await_response(self, req_id: int):
+        """Receive the response for ``req_id``, stashing others.
+
+        Multiple operations may be outstanding concurrently (nonblocking
+        MPI-IO); responses are matched by request id.
+        """
+        env = self.system.env
+        costs = self.system.costs
+        while True:
+            if req_id in self._resp_stash:
+                return self._resp_stash.pop(req_id)
+            msg = yield self.mailbox.get()
+            yield env.timeout(costs.per_message_cpu)
+            resp = msg.payload
+            if getattr(resp, "req_id", None) == req_id:
+                return resp
+            self._resp_stash[resp.req_id] = resp
+
+    # ------------------------------------------------------------------
+    # contiguous (POSIX-style) access
+    # ------------------------------------------------------------------
+    def read(self, fh: FileHandle, offset: int, nbytes: int, phantom=False):
+        """Read one contiguous logical range; returns the byte stream."""
+        stream = yield from self._simple_ops(
+            fh,
+            [Regions.single(offset, nbytes)],
+            OP_CONTIG,
+            is_write=False,
+            data=None,
+            phantom=phantom,
+        )
+        return stream
+
+    def write(self, fh, offset: int, data=None, nbytes: Optional[int] = None):
+        """Write one contiguous range (``data=None`` for phantom writes)."""
+        if data is not None:
+            data = np.asarray(data).view(np.uint8).reshape(-1)
+            nbytes = data.size
+        elif nbytes is None:
+            raise ValueError("phantom write needs nbytes")
+        yield from self._simple_ops(
+            fh,
+            [Regions.single(offset, nbytes)],
+            OP_CONTIG,
+            is_write=True,
+            data=data,
+            phantom=data is None,
+        )
+
+    # ------------------------------------------------------------------
+    # one-operation-per-region sequences (POSIX I/O; also the list I/O
+    # degenerate case of single-region operations)
+    # ------------------------------------------------------------------
+    def read_posix(self, fh, regions: Regions, phantom=False):
+        """Issue one synchronous contiguous read per region, in order."""
+        stream = yield from self._sequence(
+            fh, regions, OP_CONTIG, is_write=False, data=None, phantom=phantom
+        )
+        return stream
+
+    def write_posix(self, fh, regions: Regions, data=None):
+        """Issue one synchronous contiguous write per region, in order."""
+        if data is not None:
+            data = np.asarray(data).view(np.uint8).reshape(-1)
+        yield from self._sequence(
+            fh, regions, OP_CONTIG, is_write=True, data=data,
+            phantom=data is None,
+        )
+
+    def read_sequence(self, fh, regions, op_kind, phantom=False):
+        """One operation per region with explicit kind (list I/O fast path)."""
+        stream = yield from self._sequence(
+            fh, regions, op_kind, is_write=False, data=None, phantom=phantom
+        )
+        return stream
+
+    def write_sequence(self, fh, regions, op_kind, data=None):
+        if data is not None:
+            data = np.asarray(data).view(np.uint8).reshape(-1)
+        yield from self._sequence(
+            fh, regions, op_kind, is_write=True, data=data,
+            phantom=data is None,
+        )
+
+    def _sequence(self, fh, regions: Regions, op_kind, *, is_write, data, phantom):
+        """Vectorized synchronous one-op-per-region sequence.
+
+        Runs of consecutive operations whose region lies within a single
+        strip of the same server collapse into one exchange (when
+        ``sim_batching``); regions crossing strip boundaries fall back
+        to the generic per-operation path, preserving order.
+        """
+        env = self.system.env
+        costs = self.system.costs
+        cfg = self.system.config
+        n = regions.count
+        if n == 0:
+            return None if (is_write or phantom) else np.zeros(0, np.uint8)
+        if data is not None and data.size != regions.total_bytes:
+            raise ValueError("data stream does not match regions")
+
+        S = fh.dist.strip_size
+        nserv = fh.dist.n_servers
+        offs = regions.offsets
+        lens = regions.lengths
+        ends = np.cumsum(lens)
+        starts = ends - lens
+        k0 = offs // S
+        k1 = (offs + lens - 1) // S
+        srv = np.where(k0 == k1, k0 % nserv, -1).astype(np.int64)
+
+        if cfg.sim_batching:
+            change = np.flatnonzero(np.diff(srv) != 0) + 1
+            bounds = np.concatenate(([0], change, [n]))
+        else:
+            bounds = np.arange(n + 1)
+
+        out = (
+            None
+            if (is_write or phantom)
+            else np.zeros(regions.total_bytes, dtype=np.uint8)
+        )
+        self.counters.io_ops += n
+        handled_generic = 0  # bytes counted by _simple_ops fallbacks
+
+        for a, b in zip(bounds[:-1], bounds[1:]):
+            a, b = int(a), int(b)
+            if srv[a] == -1:
+                # strip-crossing pieces: generic path, one op at a time
+                for i in range(a, b):
+                    piece = regions[i : i + 1]
+                    sl = slice(int(starts[i]), int(ends[i]))
+                    pdata = None if data is None else data[sl]
+                    self.counters.io_ops -= 1  # _simple_ops recounts
+                    st = yield from self._simple_ops(
+                        fh,
+                        [piece],
+                        op_kind,
+                        is_write=is_write,
+                        data=pdata,
+                        phantom=phantom,
+                    )
+                    if out is not None and st is not None:
+                        out[sl] = st
+                    handled_generic += int(lens[i])
+                continue
+            g = b - a
+            extra = (g - 1) * (2 * costs.latency + 2 * costs.per_message_cpu)
+            yield env.timeout(g * costs.fs_op_client_cost + extra)
+            phys = (k0[a:b] // nserv) * S + offs[a:b] % S
+            merged = Regions(phys, lens[a:b].copy(), _trusted=True)
+            sl = slice(int(starts[a]), int(ends[b - 1]))
+            payload = None
+            if is_write and data is not None:
+                payload = data[sl]
+            req = IORequest(
+                handle=fh.handle,
+                is_write=is_write,
+                op_kind=op_kind,
+                regions=merged,
+                payload=payload,
+                payload_nbytes=merged.total_bytes if is_write else 0,
+                op_count=g,
+                phantom=phantom,
+                listio_pairs=g if op_kind == OP_LIST else 0,
+                req_id=self._req_id(),
+                reply_to=self.mailbox,
+                client=self.name,
+                server=int(srv[a]),
+            )
+            responses = yield from self._io_round([(req, None, merged)])
+            resp = responses[req.req_id]
+            if out is not None and resp.payload is not None:
+                out[sl] = resp.payload
+
+        if is_write:
+            self.counters.bytes_written += regions.total_bytes - handled_generic
+        else:
+            self.counters.bytes_read += regions.total_bytes - handled_generic
+        return out
+
+    # ------------------------------------------------------------------
+    # list I/O
+    # ------------------------------------------------------------------
+    def read_list(self, fh, ops: Sequence[Regions], phantom=False):
+        """List I/O read: each element is one operation's file regions.
+
+        Returns the packed stream of all operations, concatenated in
+        order (or ``None`` when phantom).
+        """
+        self._check_listio(ops)
+        stream = yield from self._simple_ops(
+            fh, ops, OP_LIST, is_write=False, data=None, phantom=phantom
+        )
+        return stream
+
+    def write_list(self, fh, ops: Sequence[Regions], data=None):
+        """List I/O write of the packed stream ``data`` (None = phantom)."""
+        self._check_listio(ops)
+        if data is not None:
+            data = np.asarray(data).view(np.uint8).reshape(-1)
+        yield from self._simple_ops(
+            fh, ops, OP_LIST, is_write=True, data=data, phantom=data is None
+        )
+
+    def _check_listio(self, ops: Sequence[Regions]) -> None:
+        limit = self.system.config.list_io_max_regions
+        for op in ops:
+            if op.count > limit:
+                raise PVFSError(
+                    f"list I/O operation with {op.count} regions exceeds "
+                    f"the {limit}-region request bound"
+                )
+
+    # ------------------------------------------------------------------
+    # datatype I/O
+    # ------------------------------------------------------------------
+    def read_dtype(
+        self,
+        fh,
+        loop: Dataloop,
+        displacement: int = 0,
+        first: int = 0,
+        last: Optional[int] = None,
+        phantom: bool = False,
+    ):
+        """Datatype I/O read of stream bytes [first, last) of the tiled loop."""
+        stream = yield from self._dtype_op(
+            fh, loop, displacement, first, last, False, None, phantom
+        )
+        return stream
+
+    def write_dtype(
+        self,
+        fh,
+        loop: Dataloop,
+        displacement: int = 0,
+        first: int = 0,
+        last: Optional[int] = None,
+        data=None,
+    ):
+        """Datatype I/O write; ``data`` is the packed stream (None=phantom)."""
+        if data is not None:
+            data = np.asarray(data).view(np.uint8).reshape(-1)
+        yield from self._dtype_op(
+            fh, loop, displacement, first, last, True, data, data is None
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _req_id(self) -> int:
+        self._next_req += 1
+        return self._next_req
+
+    def _simple_ops(self, fh, ops, op_kind, *, is_write, data, phantom):
+        """Run a sequence of synchronous contig/list operations."""
+        env = self.system.env
+        costs = self.system.costs
+        cfg = self.system.config
+
+        total_bytes = sum(op.total_bytes for op in ops)
+        if data is not None and data.size != total_bytes:
+            raise ValueError(
+                f"data stream of {data.size} bytes vs operations totalling "
+                f"{total_bytes} bytes"
+            )
+        out = (
+            None
+            if (is_write or phantom)
+            else np.zeros(total_bytes, dtype=np.uint8)
+        )
+        self.counters.io_ops += len(ops)
+
+        # group consecutive ops by server signature
+        groups: list[_OpGroup] = []
+        stream_cursor = 0
+        for op in ops:
+            jobs = build_jobs(self.name, fh.handle, is_write, op, fh.dist)
+            sig = tuple(sorted(jobs))
+            if (
+                cfg.sim_batching
+                and groups
+                and groups[-1].signature == sig
+            ):
+                groups[-1].add(op, jobs)
+            else:
+                g = _OpGroup(sig)
+                g.add(op, jobs)
+                groups.append(g)
+
+        for group in groups:
+            gsize = len(group.ops)
+            # per-op client fixed cost, plus the round-trip latencies
+            # and message CPU the collapsed ops would have paid
+            extra = (gsize - 1) * (
+                2 * costs.latency + 2 * costs.per_message_cpu
+            )
+            yield env.timeout(gsize * costs.fs_op_client_cost + extra)
+
+            # merge the group's jobs per server
+            requests = []
+            for server in group.signature:
+                regs = []
+                spos = []
+                pairs = 0
+                for (op_regions, jobs), base in zip(
+                    group.ops, group.stream_base
+                ):
+                    job = jobs.get(server)
+                    if job is None or not job.access_count:
+                        continue
+                    regs.append(job.accesses)
+                    spos.append(job.stream_pos + (stream_cursor + base))
+                    pairs += job.access_count
+                if not regs:
+                    continue
+                merged = Regions.concat(regs)
+                sposa = np.concatenate(spos)
+                payload = None
+                if is_write and data is not None:
+                    payload = Regions(
+                        sposa, merged.lengths, _trusted=True
+                    ).gather(data)
+                req = IORequest(
+                    handle=fh.handle,
+                    is_write=is_write,
+                    op_kind=op_kind,
+                    regions=merged,
+                    payload=payload,
+                    payload_nbytes=merged.total_bytes if is_write else 0,
+                    op_count=gsize,
+                    phantom=phantom,
+                    listio_pairs=pairs if op_kind == OP_LIST else 0,
+                    req_id=self._req_id(),
+                    reply_to=self.mailbox,
+                    client=self.name,
+                    server=server,
+                )
+                requests.append((req, sposa, merged))
+
+            responses = yield from self._io_round(requests)
+            if out is not None:
+                for req, sposa, merged in requests:
+                    resp = responses[req.req_id]
+                    if resp.payload is not None:
+                        Regions(
+                            sposa, merged.lengths, _trusted=True
+                        ).scatter(out, resp.payload)
+            stream_cursor += group.nbytes
+
+        if is_write:
+            self.counters.bytes_written += total_bytes
+        else:
+            self.counters.bytes_read += total_bytes
+        return out
+
+    def _dtype_op(
+        self, fh, loop, displacement, first, last, is_write, data, phantom
+    ):
+        env = self.system.env
+        costs = self.system.costs
+        cfg = self.system.config
+
+        if last is None:
+            last = loop.data_size
+        window = DataloopWindow(loop, displacement, first, last)
+        nbytes = window.stream_bytes
+        if data is not None and data.size != nbytes:
+            raise ValueError(
+                f"data stream of {data.size} bytes vs window of {nbytes}"
+            )
+        self.counters.io_ops += 1
+
+        # dataloop (re)conversion at every operation, as in the
+        # prototype — unless datatype caching (§5) remembers this loop
+        cache_on = cfg.datatype_cache
+        if cache_on and id(loop) in self._converted_loops:
+            yield env.timeout(2e-6)  # cache lookup
+        else:
+            yield env.timeout(
+                costs.dataloop_convert_base
+                + loop.node_count() * costs.dataloop_node_cost
+            )
+            if cache_on:
+                self._converted_loops.add(id(loop))
+
+        # client-side expansion into job/access structures (cached per
+        # (loop, window) when datatype caching is on; the tile reader's
+        # per-frame operations differ only by displacement)
+        exp_key = (id(loop), first, last)
+        cached_regions = (
+            self._expansion_cache.get(exp_key) if cache_on else None
+        )
+        if cached_regions is not None:
+            regions = cached_regions.shift(displacement)
+            yield env.timeout(2e-6)
+        else:
+            regions = DataloopStream(
+                loop,
+                count=window.tile_count(),
+                base_offset=0,
+                first=first,
+                last=last,
+                max_regions=cfg.dataloop_batch_regions,
+            ).regions()
+            factor = (
+                costs.direct_region_factor if cfg.direct_dataloop else 1.0
+            )
+            if regions.count:
+                yield env.timeout(
+                    regions.count * costs.client_region_cost * factor
+                )
+            if cache_on:
+                self._expansion_cache[exp_key] = regions
+            regions = regions.shift(displacement)
+        yield env.timeout(costs.fs_op_client_cost)
+
+        jobs = build_jobs(self.name, fh.handle, is_write, regions, fh.dist)
+        out = (
+            None
+            if (is_write or phantom)
+            else np.zeros(nbytes, dtype=np.uint8)
+        )
+        requests = []
+        for server in sorted(jobs):
+            job = jobs[server]
+            if not job.access_count:
+                continue
+            cached = False
+            if cache_on:
+                key = (server, id(loop))
+                cached = key in self._server_knows_loop
+                self._server_knows_loop.add(key)
+            payload = None
+            if is_write and data is not None:
+                payload = Regions(
+                    job.stream_pos, job.accesses.lengths, _trusted=True
+                ).gather(data)
+            req = IORequest(
+                handle=fh.handle,
+                is_write=is_write,
+                op_kind=OP_DTYPE,
+                window=window,
+                payload=payload,
+                payload_nbytes=job.nbytes if is_write else 0,
+                phantom=phantom,
+                cached_dtype=cached,
+                req_id=self._req_id(),
+                reply_to=self.mailbox,
+                client=self.name,
+                server=server,
+            )
+            requests.append((req, job))
+
+        responses = yield from self._io_round(
+            [(req, job.stream_pos, job.accesses) for req, job in requests]
+        )
+        if out is not None:
+            for req, job in requests:
+                resp = responses[req.req_id]
+                if resp.payload is not None:
+                    Regions(
+                        job.stream_pos, job.accesses.lengths, _trusted=True
+                    ).scatter(out, resp.payload)
+
+        if is_write:
+            self.counters.bytes_written += nbytes
+        else:
+            self.counters.bytes_read += nbytes
+        return out
+
+    def _io_round(self, requests):
+        """Send all requests, then collect every response."""
+        net = self.system.net
+        env = self.system.env
+        costs = self.system.costs
+        servers = self.system.servers
+        responses: dict[int, IOResponse] = {}
+        for req, _spos, _regions in requests:
+            dst = servers[req.server].mailbox
+            desc = req.descriptor_bytes(costs)
+            self.counters.requests_sent += 1
+            self.counters.request_desc_bytes += desc
+            self.counters.regions_shipped += req.listio_pairs
+            # non-blocking sockets: requests to distinct servers are in
+            # flight concurrently; the NIC reservations still serialize
+            # the actual bytes
+            yield from net.send(
+                self.mailbox,
+                dst,
+                req.wire_bytes(costs),
+                payload=req,
+                pace=False,
+            )
+        for req, _spos, _regions in requests:
+            resp: IOResponse = yield from self._await_response(req.req_id)
+            if resp.error:
+                raise PVFSError(resp.error)
+            responses[resp.req_id] = resp
+        return responses

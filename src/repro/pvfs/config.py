@@ -1,0 +1,60 @@
+"""File-system configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PVFSConfig"]
+
+
+@dataclass(frozen=True)
+class PVFSConfig:
+    """Static parameters of a PVFS deployment.
+
+    Defaults follow the paper's benchmark configuration (§4.1): 16 I/O
+    servers, 64 KiB strips (1 MiB stripe across all servers), one of
+    the I/O server nodes doubling as the metadata server, list I/O
+    bounded at 64 regions per request, and no file locking (which is
+    why ROMIO cannot do data-sieving *writes* on PVFS).
+    """
+
+    #: Number of I/O servers.
+    n_servers: int = 16
+    #: Strip size in bytes (contiguous run per server per stripe).
+    strip_size: int = 65536
+    #: Index of the I/O server whose node hosts the metadata server.
+    metadata_server: int = 0
+    #: Maximum offset–length pairs per list I/O request (paper §2.4:
+    #: "in our implementation by a factor of 64").
+    list_io_max_regions: int = 64
+    #: Maximum regions a server materializes per processing batch while
+    #: expanding a dataloop (partial-processing bound, §3.2).
+    dataloop_batch_regions: int = 65536
+    #: Full-featured datatype I/O (the PVFS2 forecast of §5): servers
+    #: and clients stream directly from the dataloop instead of first
+    #: materializing job/access lists.  Changes timing, never results.
+    direct_dataloop: bool = False
+    #: Datatype caching (§5, "similar to that seen in some remote
+    #: memory access implementations"): clients cache converted
+    #: dataloops and their expansions, and servers remember dataloops
+    #: they have seen, so repeated operations skip the per-operation
+    #: conversion cost and ship an 8-byte handle instead of the
+    #: serialized dataloop.  Changes timing and wire sizes, never
+    #: results.
+    datatype_cache: bool = False
+    #: Whether byte-range locking is available (PVFS: no).
+    supports_locking: bool = False
+    #: Collapse runs of consecutive synchronous requests from one
+    #: client to the same server set into one simulated exchange
+    #: (preserves per-op cost accounting; see DESIGN.md §5).
+    sim_batching: bool = True
+
+    def __post_init__(self):
+        if self.n_servers < 1:
+            raise ValueError("need at least one I/O server")
+        if self.strip_size < 1:
+            raise ValueError("strip_size must be positive")
+        if not (0 <= self.metadata_server < self.n_servers):
+            raise ValueError("metadata_server out of range")
+        if self.list_io_max_regions < 1:
+            raise ValueError("list_io_max_regions must be positive")

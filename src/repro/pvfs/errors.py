@@ -1,0 +1,25 @@
+"""PVFS error types."""
+
+from __future__ import annotations
+
+__all__ = ["PVFSError", "FileNotFound", "FileExists", "LockUnsupported"]
+
+
+class PVFSError(Exception):
+    """Base class for file-system errors."""
+
+
+class FileNotFound(PVFSError):
+    """Open of a non-existent path without create."""
+
+
+class FileExists(PVFSError):
+    """Exclusive create of an existing path."""
+
+
+class LockUnsupported(PVFSError):
+    """Byte-range locking requested on a file system without it.
+
+    PVFS does not support locking, which is why ROMIO cannot perform
+    data-sieving writes on it (paper §4.1).
+    """

@@ -1,0 +1,77 @@
+"""PVFS *job* and *access* structures (paper §3.1, Ligon & Ross [10]).
+
+For every client/server pair involved in an I/O operation, PVFS builds a
+``job`` pointing to a list of ``accesses`` — contiguous regions (in
+memory on the client, in file on the server) to move over the network.
+This is the flattened representation the paper's prototype still builds
+from dataloops on both ends (§3.2: "the dataloops are converted into the
+job and access structures on servers and clients"); the cost model
+charges for exactly these lists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..regions import Regions
+from .distribution import Distribution, ServerSplit
+
+__all__ = ["Job", "build_jobs"]
+
+
+class Job:
+    """Accesses one server performs for one client operation."""
+
+    __slots__ = ("client", "server", "handle", "is_write", "split")
+
+    def __init__(
+        self,
+        client: str,
+        server: int,
+        handle: int,
+        is_write: bool,
+        split: ServerSplit,
+    ):
+        self.client = client
+        self.server = server
+        self.handle = handle
+        self.is_write = is_write
+        self.split = split
+
+    @property
+    def accesses(self) -> Regions:
+        """Physical file regions on the server (the access list)."""
+        return self.split.regions
+
+    @property
+    def access_count(self) -> int:
+        return self.split.regions.count
+
+    @property
+    def nbytes(self) -> int:
+        return self.split.nbytes
+
+    @property
+    def stream_pos(self) -> np.ndarray:
+        return self.split.stream_pos
+
+    def __repr__(self) -> str:
+        kind = "write" if self.is_write else "read"
+        return (
+            f"<Job {self.client}->srv{self.server} {kind} "
+            f"{self.access_count} accesses, {self.nbytes}B>"
+        )
+
+
+def build_jobs(
+    client: str,
+    handle: int,
+    is_write: bool,
+    logical_regions: Regions,
+    dist: Distribution,
+) -> dict[int, Job]:
+    """Split a logical access into per-server jobs (client side)."""
+    return {
+        server: Job(client, server, handle, is_write, split)
+        for server, split in dist.split(logical_regions).items()
+    }

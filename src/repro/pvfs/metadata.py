@@ -1,0 +1,147 @@
+"""Metadata server.
+
+Owns the namespace (path → handle) and per-file striping parameters.
+As in PVFS, clients talk to it only at open/stat time; all data traffic
+goes directly to the I/O servers afterwards.  ``stat`` queries every
+I/O server for its local file size and inverts the distribution mapping
+to compute the logical EOF, which is how PVFS 1.x derived file sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from .distribution import Distribution
+from .protocol import MetaRequest, MetaResponse
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .system import PVFS
+
+__all__ = ["FileMeta", "MetadataServer"]
+
+
+@dataclass
+class FileMeta:
+    path: str
+    handle: int
+    dist: Distribution
+
+
+class MetadataServer:
+    """The manager daemon, co-located with one I/O server's node."""
+
+    def __init__(self, system: "PVFS", mailbox):
+        self.system = system
+        self.mailbox = mailbox
+        self.files: dict[str, FileMeta] = {}
+        self.by_handle: dict[int, FileMeta] = {}
+        self._next_handle = 1000
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    # direct (non-simulated) helpers used by servers and tests
+    # ------------------------------------------------------------------
+    def lookup(self, handle: int) -> FileMeta:
+        return self.by_handle[handle]
+
+    def create_now(self, path: str) -> FileMeta:
+        """Create a file without simulated traffic (setup convenience)."""
+        meta = self.files.get(path)
+        if meta is None:
+            cfg = self.system.config
+            meta = FileMeta(
+                path,
+                self._next_handle,
+                Distribution(cfg.n_servers, cfg.strip_size),
+            )
+            self._next_handle += 1
+            self.files[path] = meta
+            self.by_handle[meta.handle] = meta
+        return meta
+
+    # ------------------------------------------------------------------
+    # simulated request loop
+    # ------------------------------------------------------------------
+    def run(self):
+        env = self.system.env
+        net = self.system.net
+        costs = self.system.costs
+        self._backlog = []
+        while True:
+            if self._backlog:
+                msg = self._backlog.pop(0)
+            else:
+                msg = yield self.mailbox.get()
+            req: MetaRequest = msg.payload
+            self.requests_served += 1
+            yield env.timeout(costs.fs_op_server_cost)
+            if req.op == "open":
+                resp = self._open(req)
+            elif req.op == "stat":
+                resp = yield from self._stat(req)
+            elif req.op == "unlink":
+                resp = self._unlink(req)
+            else:
+                resp = MetaResponse(req.req_id, error=f"bad op {req.op!r}")
+            yield from net.send(
+                self.mailbox,
+                req.reply_to,
+                costs.header_bytes,
+                payload=resp,
+            )
+
+    def _open(self, req: MetaRequest) -> MetaResponse:
+        meta = self.files.get(req.path)
+        if meta is None:
+            if not req.create:
+                return MetaResponse(
+                    req.req_id, error=f"no such file: {req.path}"
+                )
+            meta = self.create_now(req.path)
+        return MetaResponse(
+            req.req_id,
+            handle=meta.handle,
+            size=self.system.logical_size(meta.handle),
+            n_servers=meta.dist.n_servers,
+            strip_size=meta.dist.strip_size,
+        )
+
+    def _stat(self, req: MetaRequest):
+        meta = self.by_handle.get(req.handle)
+        if meta is None:
+            return MetaResponse(req.req_id, error="bad handle")
+        # Query each I/O server for its local size over the wire.
+        env = self.system.env
+        net = self.system.net
+        costs = self.system.costs
+        size = 0
+        for server in self.system.servers:
+            yield from net.send(
+                self.mailbox,
+                server.mailbox,
+                costs.header_bytes,
+                payload=("localsize", req.handle, self.mailbox),
+            )
+            # Other meta requests may land while we wait for the
+            # server's reply (an int); stash them for the main loop.
+            while True:
+                msg = yield self.mailbox.get()
+                if isinstance(msg.payload, MetaRequest):
+                    self._backlog.append(msg)
+                    continue
+                break
+            local = msg.payload
+            size = max(
+                size, meta.dist.logical_size_from_local(server.index, local)
+            )
+        return MetaResponse(req.req_id, handle=meta.handle, size=size)
+
+    def _unlink(self, req: MetaRequest) -> MetaResponse:
+        meta = self.files.pop(req.path, None)
+        if meta is None:
+            return MetaResponse(req.req_id, error=f"no such file: {req.path}")
+        self.by_handle.pop(meta.handle, None)
+        for server in self.system.servers:
+            server.store.remove(meta.handle)
+        return MetaResponse(req.req_id, handle=meta.handle)

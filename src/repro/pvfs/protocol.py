@@ -1,0 +1,147 @@
+"""Request/response message types and wire-size accounting.
+
+Wire sizes matter: the network model charges for them, and the
+difference between a list I/O request (12 bytes per offset–length pair,
+§4.2's ~9 KB for 768 pairs) and a datatype I/O request (a serialized
+dataloop of constant size for regular patterns) is one of the paper's
+central effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from ..dataloops import Dataloop, wire_size
+from ..regions import Regions
+
+__all__ = [
+    "MetaRequest",
+    "MetaResponse",
+    "IORequest",
+    "IOResponse",
+    "DataloopWindow",
+    "OP_CONTIG",
+    "OP_LIST",
+    "OP_DTYPE",
+]
+
+OP_CONTIG = "contig"
+OP_LIST = "list"
+OP_DTYPE = "dtype"
+
+
+@dataclass
+class MetaRequest:
+    """Namespace operation sent to the metadata server."""
+
+    op: str  # 'open' | 'stat' | 'unlink' | 'localsize'
+    path: str = ""
+    create: bool = True
+    handle: int = -1
+    req_id: int = -1
+    reply_to: Any = None
+
+    def wire_bytes(self, header: int) -> int:
+        return header + len(self.path)
+
+
+@dataclass
+class MetaResponse:
+    req_id: int
+    handle: int = -1
+    size: int = 0
+    n_servers: int = 0
+    strip_size: int = 0
+    error: Optional[str] = None
+
+
+@dataclass
+class DataloopWindow:
+    """The file side of a datatype I/O request (paper Fig. 6).
+
+    ``loop`` describes the file type; the access covers packed-stream
+    bytes ``[first, last)`` of the type tiled from byte ``displacement``
+    — exactly the (displacement, datatype, offset-into-datatype) triple
+    of the datatype I/O interface.
+    """
+
+    loop: Dataloop
+    displacement: int
+    first: int
+    last: int
+
+    @property
+    def stream_bytes(self) -> int:
+        return self.last - self.first
+
+    def tile_count(self) -> int:
+        size = self.loop.data_size
+        if size <= 0 or self.last <= 0:
+            return 0
+        return -(-self.last // size)
+
+    def wire_bytes(self) -> int:
+        # serialized dataloop + displacement/first/last
+        return wire_size(self.loop) + 24
+
+
+@dataclass
+class IORequest:
+    """An I/O request to one server.
+
+    Exactly one of ``regions`` (contig / list I/O: the physical regions
+    for *this* server, already in stream order) or ``window`` (datatype
+    I/O: the dataloop plus stream window; the server computes its own
+    regions) is set.
+    """
+
+    handle: int
+    is_write: bool
+    op_kind: str  # OP_CONTIG | OP_LIST | OP_DTYPE
+    regions: Optional[Regions] = None
+    window: Optional[DataloopWindow] = None
+    payload: Optional[np.ndarray] = None  # write data (None = phantom)
+    payload_nbytes: int = 0
+    op_count: int = 1  # collapsed synchronous ops (sim batching)
+    phantom: bool = False  # reads: account sizes, skip real bytes
+    cached_dtype: bool = False  # datatype cache hit: ship a handle
+    listio_pairs: int = 0  # offset-length pairs carried on the wire
+    req_id: int = -1
+    reply_to: Any = None
+    client: str = ""
+    server: int = -1  # destination I/O server index
+
+    def descriptor_bytes(self, costs) -> int:
+        """Wire bytes of the request *description* (excl. payload)."""
+        size = costs.header_bytes * self.op_count
+        if self.op_kind == OP_LIST:
+            size += self.listio_pairs * costs.listio_pair_bytes
+        elif self.op_kind == OP_CONTIG:
+            size += 16 * self.op_count
+        elif self.op_kind == OP_DTYPE:
+            if self.cached_dtype:
+                # registered dataloop: 8-byte handle + window triple
+                size += 32
+            else:
+                size += self.window.wire_bytes()
+        return size
+
+    def wire_bytes(self, costs) -> int:
+        return self.descriptor_bytes(costs) + (
+            self.payload_nbytes if self.is_write else 0
+        )
+
+
+@dataclass
+class IOResponse:
+    req_id: int
+    payload: Optional[np.ndarray] = None  # read data stream (None = phantom)
+    nbytes: int = 0  # data bytes represented (even when phantom)
+    accesses_built: int = 0  # server-side access-list length
+    error: Optional[str] = None
+
+    def wire_bytes(self, costs, is_write: bool) -> int:
+        return costs.header_bytes + (0 if is_write else self.nbytes)

@@ -1,0 +1,16 @@
+"""Vectorized sets of contiguous byte regions.
+
+A :class:`Regions` object is the struct-of-arrays representation of an
+ordered list of ``(offset, length)`` pairs.  It is the common currency of
+the whole stack: datatype flattening produces one, the PVFS request
+processing pipeline turns dataloops into one on each I/O server, and the
+storage layer consumes them to actually move bytes.
+
+The *order* of regions is significant: it is the order in which data
+appears in the packed byte stream of the datatype that produced them
+(MPI typemap traversal order), not ascending file-offset order.
+"""
+
+from .core import Regions
+
+__all__ = ["Regions"]

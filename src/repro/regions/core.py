@@ -1,0 +1,496 @@
+"""Core :class:`Regions` implementation.
+
+Everything here is NumPy-vectorized; no per-region Python loops on the
+hot paths (tiling, shifting, coalescing, gather/scatter, clipping).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["Regions"]
+
+_I64 = np.int64
+
+
+def _as_i64(a) -> np.ndarray:
+    arr = np.asarray(a, dtype=_I64)
+    if arr.ndim != 1:
+        arr = arr.reshape(-1)
+    return arr
+
+
+class Regions:
+    """An ordered sequence of contiguous byte regions.
+
+    Parameters
+    ----------
+    offsets, lengths:
+        Equal-length 1-D integer arrays.  Zero-length regions are
+        dropped; negative lengths are rejected.
+
+    Notes
+    -----
+    Instances are treated as immutable; all transformations return new
+    objects (arrays may be shared when unchanged).
+    """
+
+    __slots__ = ("offsets", "lengths")
+
+    def __init__(self, offsets, lengths, *, _trusted: bool = False):
+        if _trusted:
+            self.offsets = offsets
+            self.lengths = lengths
+            return
+        offs = _as_i64(offsets)
+        lens = _as_i64(lengths)
+        if offs.shape != lens.shape:
+            raise ValueError(
+                f"offsets and lengths must have the same shape: "
+                f"{offs.shape} != {lens.shape}"
+            )
+        if lens.size and lens.min() < 0:
+            raise ValueError("negative region length")
+        if lens.size:
+            keep = lens > 0
+            if not keep.all():
+                offs = offs[keep]
+                lens = lens[keep]
+        self.offsets = offs
+        self.lengths = lens
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "Regions":
+        return cls(
+            np.empty(0, dtype=_I64), np.empty(0, dtype=_I64), _trusted=True
+        )
+
+    @classmethod
+    def single(cls, offset: int, length: int) -> "Regions":
+        if length <= 0:
+            return cls.empty()
+        return cls(
+            np.array([offset], dtype=_I64),
+            np.array([length], dtype=_I64),
+            _trusted=True,
+        )
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[int, int]]) -> "Regions":
+        pairs = list(pairs)
+        if not pairs:
+            return cls.empty()
+        arr = np.asarray(pairs, dtype=_I64)
+        return cls(arr[:, 0], arr[:, 1])
+
+    @classmethod
+    def concat(cls, parts: Sequence["Regions"]) -> "Regions":
+        """Concatenate regions preserving sequence order."""
+        parts = [p for p in parts if p.count]
+        if not parts:
+            return cls.empty()
+        if len(parts) == 1:
+            return parts[0]
+        return cls(
+            np.concatenate([p.offsets for p in parts]),
+            np.concatenate([p.lengths for p in parts]),
+            _trusted=True,
+        )
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of contiguous regions."""
+        return int(self.offsets.size)
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of region lengths."""
+        return int(self.lengths.sum()) if self.lengths.size else 0
+
+    @property
+    def is_sorted(self) -> bool:
+        """True if offsets are non-decreasing in sequence order."""
+        if self.count < 2:
+            return True
+        return bool(np.all(np.diff(self.offsets) >= 0))
+
+    def extent(self) -> tuple[int, int]:
+        """Return ``(lo, hi)`` spanning all regions (``hi`` exclusive).
+
+        Returns ``(0, 0)`` for an empty set.
+        """
+        if not self.count:
+            return (0, 0)
+        lo = int(self.offsets.min())
+        hi = int((self.offsets + self.lengths).max())
+        return lo, hi
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        for o, l in zip(self.offsets.tolist(), self.lengths.tolist()):
+            yield (o, l)
+
+    def __getitem__(self, i) -> "Regions":
+        if isinstance(i, slice):
+            return Regions(self.offsets[i], self.lengths[i], _trusted=True)
+        return Regions.single(int(self.offsets[i]), int(self.lengths[i]))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Regions):
+            return NotImplemented
+        return bool(
+            np.array_equal(self.offsets, other.offsets)
+            and np.array_equal(self.lengths, other.lengths)
+        )
+
+    def __hash__(self):  # pragma: no cover - identity hashing unused
+        raise TypeError("Regions is unhashable")
+
+    def __repr__(self) -> str:
+        if self.count <= 6:
+            body = ", ".join(f"({o}, {l})" for o, l in self)
+        else:
+            head = ", ".join(f"({o}, {l})" for o, l in self[:3])
+            tail = ", ".join(f"({o}, {l})" for o, l in self[-2:])
+            body = f"{head}, ... {tail}"
+        return f"Regions[{self.count}: {body}]"
+
+    def to_pairs(self) -> list[tuple[int, int]]:
+        return list(self)
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def shift(self, delta: int) -> "Regions":
+        """Return a copy with every offset displaced by ``delta``."""
+        if not self.count or delta == 0:
+            return self
+        return Regions(self.offsets + _I64(delta), self.lengths, _trusted=True)
+
+    def tile(self, count: int, stride: int) -> "Regions":
+        """Repeat the whole set ``count`` times at byte ``stride``.
+
+        Replica *i* is shifted by ``i * stride``.  Sequence order is
+        replica-major (all of replica 0, then replica 1, ...), matching
+        datatype traversal order of ``contiguous``/``vector`` types.
+        """
+        if count < 0:
+            raise ValueError("negative tile count")
+        if count == 0 or not self.count:
+            return Regions.empty()
+        if count == 1:
+            return self
+        shifts = (np.arange(count, dtype=_I64) * _I64(stride))[:, None]
+        offs = (self.offsets[None, :] + shifts).reshape(-1)
+        lens = np.broadcast_to(
+            self.lengths[None, :], (count, self.count)
+        ).reshape(-1)
+        return Regions(offs, np.ascontiguousarray(lens), _trusted=True)
+
+    def coalesce(self) -> "Regions":
+        """Merge regions that are adjacent both in sequence and in space.
+
+        Region *i+1* is merged into region *i* when
+        ``offsets[i] + lengths[i] == offsets[i+1]``.  This preserves the
+        packed-stream order semantics (only sequence-adjacent merges are
+        valid).
+        """
+        n = self.count
+        if n < 2:
+            return self
+        ends = self.offsets + self.lengths
+        # boundary[i] is True when region i starts a new coalesced run
+        boundary = np.empty(n, dtype=bool)
+        boundary[0] = True
+        boundary[1:] = self.offsets[1:] != ends[:-1]
+        if boundary.all():
+            return self
+        starts_idx = np.flatnonzero(boundary)
+        run_ends = np.empty(starts_idx.size, dtype=_I64)
+        # last region index of each run
+        last_idx = np.empty(starts_idx.size, dtype=np.int64)
+        last_idx[:-1] = starts_idx[1:] - 1
+        last_idx[-1] = n - 1
+        run_ends = ends[last_idx]
+        offs = self.offsets[starts_idx]
+        return Regions(offs, run_ends - offs, _trusted=True)
+
+    def clip(self, lo: int, hi: int) -> "Regions":
+        """Intersect with the half-open byte range ``[lo, hi)``.
+
+        Order of surviving (possibly trimmed) regions is preserved.
+        """
+        if not self.count or hi <= lo:
+            return Regions.empty()
+        starts = np.maximum(self.offsets, _I64(lo))
+        ends = np.minimum(self.offsets + self.lengths, _I64(hi))
+        lens = ends - starts
+        keep = lens > 0
+        if not keep.any():
+            return Regions.empty()
+        return Regions(starts[keep], lens[keep], _trusted=True)
+
+    def clip_with_stream(self, lo: int, hi: int) -> tuple["Regions", np.ndarray]:
+        """Like :meth:`clip` but also return stream positions.
+
+        The second return value gives, for each surviving region, the
+        byte position within *this* region sequence's packed stream at
+        which the surviving region's data begins.  Needed to line file
+        regions up with the packed data stream after clipping (e.g. when
+        a server holds only part of a request's file regions).
+        """
+        if not self.count or hi <= lo:
+            return Regions.empty(), np.empty(0, dtype=_I64)
+        stream_starts = np.concatenate(
+            ([0], np.cumsum(self.lengths)[:-1])
+        ).astype(_I64, copy=False)
+        starts = np.maximum(self.offsets, _I64(lo))
+        ends = np.minimum(self.offsets + self.lengths, _I64(hi))
+        lens = ends - starts
+        keep = lens > 0
+        if not keep.any():
+            return Regions.empty(), np.empty(0, dtype=_I64)
+        spos = stream_starts[keep] + (starts[keep] - self.offsets[keep])
+        return Regions(starts[keep], lens[keep], _trusted=True), spos
+
+    def slice_stream(self, s0: int, s1: int) -> "Regions":
+        """Regions covering packed-stream bytes ``[s0, s1)``.
+
+        The packed stream is the concatenation of the regions' bytes in
+        sequence order; edge regions are trimmed.  Vectorized.
+        """
+        if s1 <= s0 or not self.count:
+            return Regions.empty()
+        ends = np.cumsum(self.lengths)
+        starts = ends - self.lengths
+        s0 = max(s0, 0)
+        s1 = min(s1, int(ends[-1]))
+        if s1 <= s0:
+            return Regions.empty()
+        i0 = int(np.searchsorted(ends, s0, side="right"))
+        i1 = int(np.searchsorted(starts, s1, side="left"))
+        offs = self.offsets[i0:i1].copy()
+        lens = self.lengths[i0:i1].copy()
+        if offs.size:
+            head_trim = s0 - int(starts[i0])
+            if head_trim > 0:
+                offs[0] += head_trim
+                lens[0] -= head_trim
+            tail_trim = int(ends[i1 - 1]) - s1
+            if tail_trim > 0:
+                lens[-1] -= tail_trim
+        return Regions(offs, lens, _trusted=True)
+
+    def split_at_stream(self, cuts) -> "Regions":
+        """Split regions at the given packed-stream positions.
+
+        Returns the same byte set with extra region boundaries inserted
+        wherever a cut position falls strictly inside a region.  Fully
+        vectorized; used to slice flattened accesses into bounded
+        operations without materializing per-operation objects.
+        """
+        if not self.count:
+            return self
+        cuts = np.asarray(cuts, dtype=_I64)
+        ends = np.cumsum(self.lengths)
+        starts = ends - self.lengths
+        total = int(ends[-1])
+        cuts = cuts[(cuts > 0) & (cuts < total)]
+        if not cuts.size:
+            return self
+        bounds = np.union1d(np.concatenate((starts, ends)), cuts)
+        a = bounds[:-1]
+        b = bounds[1:]
+        # each [a, b) interval lies inside exactly one region
+        ridx = np.searchsorted(ends, a, side="right")
+        offs = self.offsets[ridx] + (a - starts[ridx])
+        return Regions(offs, b - a, _trusted=True)
+
+    def split_chunks(self, max_regions: int) -> Iterator["Regions"]:
+        """Yield consecutive slices of at most ``max_regions`` regions.
+
+        This models the list I/O bound on the number of offset–length
+        pairs per file-system request.
+        """
+        if max_regions <= 0:
+            raise ValueError("max_regions must be positive")
+        for i in range(0, self.count, max_regions):
+            yield self[i : i + max_regions]
+
+    def split_stream(self, max_bytes: int) -> Iterator["Regions"]:
+        """Yield chunks whose packed streams are at most ``max_bytes``.
+
+        Regions are never split mid-region unless a single region is
+        itself larger than ``max_bytes``.
+        """
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        pending_off = None
+        pending_len = 0
+        acc_offs: list[int] = []
+        acc_lens: list[int] = []
+        acc_bytes = 0
+
+        def flush():
+            nonlocal acc_offs, acc_lens, acc_bytes
+            if acc_offs:
+                out = Regions(
+                    np.array(acc_offs, dtype=_I64),
+                    np.array(acc_lens, dtype=_I64),
+                    _trusted=True,
+                )
+                acc_offs, acc_lens, acc_bytes = [], [], 0
+                return out
+            return None
+
+        for off, ln in self:
+            while ln > 0:
+                room = max_bytes - acc_bytes
+                take = min(ln, room)
+                if take == 0:
+                    chunk = flush()
+                    if chunk is not None:
+                        yield chunk
+                    continue
+                acc_offs.append(off)
+                acc_lens.append(take)
+                acc_bytes += take
+                off += take
+                ln -= take
+        chunk = flush()
+        if chunk is not None:
+            yield chunk
+
+    # ------------------------------------------------------------------
+    # set-style operations (require sorted, non-overlapping semantics)
+    # ------------------------------------------------------------------
+    def normalized(self) -> "Regions":
+        """Return the sorted, overlap-merged (canonical) form of this set.
+
+        Unlike :meth:`coalesce`, this merges overlapping regions too.
+        Loses stream-order information; use for set algebra only.
+        """
+        if self.count < 2:
+            return self
+        order = np.argsort(self.offsets, kind="stable")
+        offs = self.offsets[order]
+        ends = np.maximum.accumulate(offs + self.lengths[order])
+        # region i starts a new run when it begins after the running end
+        boundary = np.empty(offs.size, dtype=bool)
+        boundary[0] = True
+        boundary[1:] = offs[1:] > ends[:-1]
+        starts_idx = np.flatnonzero(boundary)
+        last_idx = np.empty(starts_idx.size, dtype=np.int64)
+        last_idx[:-1] = starts_idx[1:] - 1
+        last_idx[-1] = offs.size - 1
+        run_offs = offs[starts_idx]
+        return Regions(run_offs, ends[last_idx] - run_offs, _trusted=True)
+
+    def intersect(self, other: "Regions") -> "Regions":
+        """Set intersection (returns the canonical form)."""
+        a = self.normalized()
+        b = other.normalized()
+        if not a.count or not b.count:
+            return Regions.empty()
+        out_o: list[np.ndarray] = []
+        out_l: list[np.ndarray] = []
+        b_starts = b.offsets
+        b_ends = b.offsets + b.lengths
+        for off, ln in a:
+            end = off + ln
+            i = int(np.searchsorted(b_ends, off, side="right"))
+            j = int(np.searchsorted(b_starts, end, side="left"))
+            if i >= j:
+                continue
+            s = np.maximum(b_starts[i:j], off)
+            e = np.minimum(b_ends[i:j], end)
+            out_o.append(s)
+            out_l.append(e - s)
+        if not out_o:
+            return Regions.empty()
+        return Regions(np.concatenate(out_o), np.concatenate(out_l))
+
+    def overlap_bytes(self, other: "Regions") -> int:
+        """Bytes shared between the two sets."""
+        return self.intersect(other).total_bytes
+
+    # ------------------------------------------------------------------
+    # data movement
+    # ------------------------------------------------------------------
+    def _flat_index(self) -> np.ndarray:
+        """Element index array covering all regions in sequence order."""
+        total = self.total_bytes
+        if total == 0:
+            return np.empty(0, dtype=_I64)
+        ends = np.cumsum(self.lengths)
+        starts = ends - self.lengths
+        idx = np.ones(total, dtype=_I64)
+        idx[0] = self.offsets[0]
+        if self.count > 1:
+            # jump at each region boundary
+            idx[starts[1:]] = self.offsets[1:] - (
+                self.offsets[:-1] + self.lengths[:-1] - 1
+            )
+        return np.cumsum(idx)
+
+    def gather(self, buf: np.ndarray) -> np.ndarray:
+        """Extract the packed byte stream of these regions from ``buf``.
+
+        ``buf`` must be a 1-D ``uint8`` array.  Returns a new ``uint8``
+        array of :attr:`total_bytes` bytes.
+        """
+        buf = _as_u8(buf)
+        if not self.count:
+            return np.empty(0, dtype=np.uint8)
+        lo, hi = self.extent()
+        if lo < 0 or hi > buf.size:
+            raise IndexError(
+                f"regions [{lo}, {hi}) out of bounds for buffer of "
+                f"{buf.size} bytes"
+            )
+        if self.count == 1:
+            o, l = int(self.offsets[0]), int(self.lengths[0])
+            return buf[o : o + l].copy()
+        return buf[self._flat_index()]
+
+    def scatter(self, buf: np.ndarray, data: np.ndarray) -> None:
+        """Write the packed byte stream ``data`` into ``buf`` at these regions."""
+        buf = _as_u8(buf)
+        data = _as_u8(data)
+        if data.size != self.total_bytes:
+            raise ValueError(
+                f"data stream of {data.size} bytes does not match regions "
+                f"totalling {self.total_bytes} bytes"
+            )
+        if not self.count:
+            return
+        lo, hi = self.extent()
+        if lo < 0 or hi > buf.size:
+            raise IndexError(
+                f"regions [{lo}, {hi}) out of bounds for buffer of "
+                f"{buf.size} bytes"
+            )
+        if self.count == 1:
+            o, l = int(self.offsets[0]), int(self.lengths[0])
+            buf[o : o + l] = data
+            return
+        buf[self._flat_index()] = data
+
+
+def _as_u8(buf) -> np.ndarray:
+    arr = np.asarray(buf)
+    if arr.dtype != np.uint8:
+        arr = arr.view(np.uint8)
+    if arr.ndim != 1:
+        arr = arr.reshape(-1)
+    return arr

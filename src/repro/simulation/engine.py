@@ -1,0 +1,352 @@
+"""Event loop and process machinery.
+
+A deliberately small SimPy-like core:
+
+* an :class:`Event` is a one-shot trigger carrying a value (or an
+  exception);
+* a :class:`Process` wraps a generator; each ``yield``-ed event suspends
+  the process until the event fires, whose value becomes the ``yield``
+  expression's result.  A process is itself an event that fires with the
+  generator's return value;
+* :class:`Environment` owns the clock and the priority queue.
+
+The queue orders by ``(time, sequence)`` so same-time events fire in
+scheduling order — simulations are bit-for-bit deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for simulation protocol violations (e.g. double trigger)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence.
+
+    States: *pending* → *triggered* (scheduled) → *processed* (callbacks
+    run).  ``succeed``/``fail`` move it to triggered.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_exc", "_state")
+
+    PENDING = 0
+    TRIGGERED = 1
+    PROCESSED = 2
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._state = Event.PENDING
+
+    # ------------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._state >= Event.TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        return self._state == Event.PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        return self.triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        if not self.triggered:
+            raise SimulationError("value of untriggered event")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    # ------------------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._value = value
+        self._state = Event.TRIGGERED
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._exc = exc
+        self._state = Event.TRIGGERED
+        self.env._schedule(self)
+        return self
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        if self._state == Event.PROCESSED:
+            # late subscriber: run at the current instant
+            self.env._schedule(_CallbackShim(self, cb))
+        else:
+            self.callbacks.append(cb)
+
+    def _run_callbacks(self) -> None:
+        self._state = Event.PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+
+class _CallbackShim(Event):
+    """Delivers a late callback for an already-processed event."""
+
+    __slots__ = ("_orig", "_cb")
+
+    def __init__(self, orig: Event, cb: Callable[[Event], None]):
+        super().__init__(orig.env)
+        self._orig = orig
+        self._cb = cb
+        self._state = Event.TRIGGERED
+
+    def _run_callbacks(self) -> None:
+        self._state = Event.PROCESSED
+        self._cb(self._orig)
+
+
+class Timeout(Event):
+    """Fires ``delay`` seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        self._state = Event.TRIGGERED
+        env._schedule(self, delay)
+
+
+class Process(Event):
+    """A running generator; fires with the generator's return value."""
+
+    __slots__ = ("_gen", "_waiting_on", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        gen: Generator[Event, Any, Any],
+        name: str = "",
+    ):
+        if not hasattr(gen, "send"):
+            raise TypeError(
+                f"process target must be a generator, got {type(gen).__name__}"
+            )
+        super().__init__(env)
+        self._gen = gen
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(gen, "__name__", "process")
+        # bootstrap at the current instant
+        boot = Event(env)
+        boot._state = Event.TRIGGERED
+        boot.add_callback(self._resume)
+        env._schedule(boot)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at this instant."""
+        if self.triggered:
+            return
+        target = self._waiting_on
+        if target is not None and self in [  # detach from the event
+            getattr(cb, "__self__", None) for cb in target.callbacks
+        ]:
+            target.callbacks = [
+                cb
+                for cb in target.callbacks
+                if getattr(cb, "__self__", None) is not self
+            ]
+        shim = Event(self.env)
+        shim._state = Event.TRIGGERED
+        shim._exc = Interrupt(cause)
+        shim.add_callback(self._resume)
+        self.env._schedule(shim)
+
+    # ------------------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            if event._exc is not None:
+                next_event = self._gen.throw(event._exc)
+            else:
+                next_event = self._gen.send(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self.fail(exc)
+            return
+        if not isinstance(next_event, Event):
+            err = SimulationError(
+                f"process {self.name!r} yielded {type(next_event).__name__}, "
+                "expected an Event"
+            )
+            self._gen.close()
+            self.fail(err)
+            return
+        self._waiting_on = next_event
+        next_event.add_callback(self._resume)
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        self._pending = 0
+        if not self.events:
+            self.succeed([])
+            return
+        for ev in self.events:
+            if not self._check_immediate(ev):
+                self._pending += 1
+                ev.add_callback(self._on_event)
+        self._maybe_finish()
+
+    def _check_immediate(self, ev: Event) -> bool:
+        return False
+
+    def _on_event(self, ev: Event) -> None:
+        raise NotImplementedError
+
+    def _maybe_finish(self) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every event has fired; value is the list of values."""
+
+    __slots__ = ()
+
+    def _on_event(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if ev._exc is not None:
+            self.fail(ev._exc)
+            return
+        self._pending -= 1
+        self._maybe_finish()
+
+    def _maybe_finish(self) -> None:
+        if not self.triggered and self._pending == 0:
+            self.succeed([ev.value for ev in self.events])
+
+
+class AnyOf(_Condition):
+    """Fires when the first event fires; value is ``(index, value)``."""
+
+    __slots__ = ()
+
+    def _on_event(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if ev._exc is not None:
+            self.fail(ev._exc)
+            return
+        self.succeed((self.events.index(ev), ev._value))
+
+    def _maybe_finish(self) -> None:
+        pass
+
+
+class Environment:
+    """Owns simulated time and the event queue."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, event))
+
+    # ------------------------------------------------------------------
+    # factories
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen, name: str = "") -> Process:
+        return Process(self, gen, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------------
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run until the queue drains, a deadline, or an event fires.
+
+        Returns the event's value when ``until`` is an event.
+        """
+        deadline: Optional[float] = None
+        stop_event: Optional[Event] = None
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            deadline = float(until)
+
+        while self._queue:
+            t, _, event = self._queue[0]
+            if deadline is not None and t > deadline:
+                self.now = deadline
+                return None
+            heapq.heappop(self._queue)
+            self.now = t
+            event._run_callbacks()
+            if stop_event is not None and stop_event.triggered:
+                return stop_event.value
+
+        if stop_event is not None and not stop_event.triggered:
+            raise SimulationError(
+                "event queue drained before the awaited event fired "
+                "(deadlock: a process is waiting on something that will "
+                "never happen)"
+            )
+        if deadline is not None:
+            self.now = deadline
+        return None

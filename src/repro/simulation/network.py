@@ -1,0 +1,215 @@
+"""Cluster network model.
+
+Nodes have one full-duplex NIC each (independent transmit and receive
+sides, 100 Mbit/s per direction by default).  Multiple simulated
+entities on the same node (e.g. two MPI ranks, or a client and an I/O
+daemon) share the node's NIC — exactly the contention the paper's
+two-processes-per-node runs experience.
+
+Transfers use a *reservation* model: a message occupies the sender's
+transmit side and the receiver's receive side for ``nbytes/bandwidth``
+seconds starting when both are free (``max`` of their busy horizons).
+This serializes traffic per NIC direction without introducing
+head-of-line convoys between unrelated flows — the behaviour of TCP
+sockets multiplexed by ``select()`` in the real PVFS daemons.
+
+A message send:
+
+1. charges sender CPU (``per_message_cpu``);
+2. reserves both NIC sides;
+3. is delivered into the destination mailbox one latency after the
+   transfer completes.
+
+``pace=True`` (default) suspends the sender until its bytes have left
+the NIC (a blocking socket); servers pass ``pace=False`` so a response
+drains in the background while the daemon handles its next request.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from .costs import CostModel
+from .engine import Environment, Event
+from .resources import Store
+
+__all__ = ["Network", "Node", "Mailbox", "Message"]
+
+
+class Node:
+    """A cluster node with a full-duplex NIC (busy-horizon model)."""
+
+    __slots__ = (
+        "name",
+        "tx_busy_until",
+        "rx_busy_until",
+        "tx_busy_time",
+        "rx_busy_time",
+        "bytes_sent",
+        "bytes_received",
+    )
+
+    def __init__(self, name: str):
+        self.name = name
+        self.tx_busy_until = 0.0
+        self.rx_busy_until = 0.0
+        self.tx_busy_time = 0.0
+        self.rx_busy_time = 0.0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def __repr__(self) -> str:
+        return f"<Node {self.name}>"
+
+
+class Message:
+    """A delivered message."""
+
+    __slots__ = ("sender", "payload", "nbytes", "tag")
+
+    def __init__(self, sender: "Mailbox", payload: Any, nbytes: int, tag: Any):
+        self.sender = sender
+        self.payload = payload
+        self.nbytes = nbytes
+        self.tag = tag
+
+    def __repr__(self) -> str:
+        return f"<Message {self.nbytes}B tag={self.tag!r} from {self.sender.name}>"
+
+
+class Mailbox:
+    """An addressable inbox owned by a simulated entity on some node."""
+
+    __slots__ = ("name", "node", "_store")
+
+    def __init__(self, env: Environment, node: Node, name: str):
+        self.name = name
+        self.node = node
+        self._store = Store(env, name=name)
+
+    def get(self) -> Event:
+        """Event firing with the next :class:`Message`."""
+        return self._store.get()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+class Network:
+    """Factory for nodes/mailboxes plus the transfer primitive."""
+
+    def __init__(self, env: Environment, costs: Optional[CostModel] = None):
+        self.env = env
+        self.costs = costs or CostModel()
+        self.nodes: dict[str, Node] = {}
+        self.mailboxes: dict[str, Mailbox] = {}
+        # global statistics
+        self.message_count = 0
+        self.bytes_transferred = 0
+
+    # ------------------------------------------------------------------
+    def node(self, name: str) -> Node:
+        """Get or create the named node."""
+        node = self.nodes.get(name)
+        if node is None:
+            node = Node(name)
+            self.nodes[name] = node
+        return node
+
+    def mailbox(self, node: Node, name: str) -> Mailbox:
+        if name in self.mailboxes:
+            raise ValueError(f"duplicate mailbox name {name!r}")
+        mb = Mailbox(self.env, node, name)
+        self.mailboxes[name] = mb
+        return mb
+
+    # ------------------------------------------------------------------
+    def _reserve(
+        self, src: Node, dst: Node, nbytes: int, bandwidth: Optional[float] = None
+    ) -> float:
+        """Queue the message at both NIC sides; returns completion time.
+
+        Each side drains its own byte queue at line rate; the message
+        completes when the slower side has drained it.  Sides are
+        deliberately *not* coupled (one slow receiver does not stall a
+        sender's traffic to other destinations — TCP sockets multiplex).
+        """
+        now = self.env.now
+        rate = bandwidth or self.costs.nic_bandwidth
+        dur = nbytes / rate if nbytes else 0.0
+        src.tx_busy_until = max(src.tx_busy_until, now) + dur
+        dst.rx_busy_until = max(dst.rx_busy_until, now) + dur
+        src.tx_busy_time += dur
+        dst.rx_busy_time += dur
+        src.bytes_sent += nbytes
+        dst.bytes_received += nbytes
+        self.bytes_transferred += nbytes
+        return max(src.tx_busy_until, dst.rx_busy_until)
+
+    def send(
+        self,
+        src: Mailbox,
+        dst: Mailbox,
+        nbytes: int,
+        payload: Any = None,
+        tag: Any = None,
+        *,
+        pace: bool = True,
+        latency: Optional[float] = None,
+        per_msg_cpu: Optional[float] = None,
+        bandwidth: Optional[float] = None,
+    ) -> Generator[Event, Any, None]:
+        """Transfer a message; ``yield from`` this inside a process.
+
+        With ``pace=True`` the caller resumes once the payload has left
+        its NIC; with ``pace=False`` it resumes right after the send CPU
+        charge and the transfer drains in the background.  Delivery into
+        ``dst`` happens one latency after the transfer completes.
+        """
+        env = self.env
+        c = self.costs
+        if nbytes < 0:
+            raise ValueError("negative message size")
+        lat = c.latency if latency is None else latency
+        msg_cpu = c.per_message_cpu if per_msg_cpu is None else per_msg_cpu
+
+        if msg_cpu > 0:
+            yield env.timeout(msg_cpu)
+
+        msg = Message(src, payload, nbytes, tag)
+        self.message_count += 1
+        if src.node is dst.node:
+            # loopback: no wire, no latency
+            dst._store.put(msg)
+            return
+        end = self._reserve(src.node, dst.node, nbytes, bandwidth)
+        deliver_delay = (end - env.now) + lat
+        _deliver_later(env, dst, msg, deliver_delay)
+        if pace and end > env.now:
+            yield env.timeout(end - env.now)
+
+    def request_response(
+        self,
+        src: Mailbox,
+        dst: Mailbox,
+        nbytes: int,
+        payload: Any = None,
+        tag: Any = None,
+    ) -> Generator[Event, Any, Message]:
+        """Send and then block on the next message in ``src``.
+
+        Only valid for entities that have a single outstanding exchange
+        at a time (the PVFS client uses richer matching; see
+        :mod:`repro.pvfs.client`).
+        """
+        yield from self.send(src, dst, nbytes, payload, tag)
+        msg = yield src.get()
+        return msg
+
+
+def _deliver_later(env: Environment, dst: Mailbox, msg: Message, delay: float):
+    if delay <= 0:
+        dst._store.put(msg)
+        return
+    ev = env.timeout(delay)
+    ev.add_callback(lambda _ev: dst._store.put(msg))

@@ -1,0 +1,124 @@
+"""FIFO resources and mailboxes for the simulation engine."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator
+
+from .engine import Environment, Event
+
+__all__ = ["Resource", "Store"]
+
+
+class Resource:
+    """A FIFO resource with integer capacity (e.g. a NIC or a disk arm).
+
+    Usage inside a process::
+
+        req = resource.request()
+        yield req
+        try:
+            yield env.timeout(service_time)
+        finally:
+            resource.release()
+
+    or the :meth:`hold` convenience::
+
+        yield from resource.hold(service_time)
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+        # statistics
+        self.busy_time = 0.0
+        self._busy_since: float | None = None
+        self.total_acquisitions = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Return an event that fires when a slot is granted."""
+        ev = self.env.event()
+        if self._in_use < self.capacity:
+            self._grant(ev)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise RuntimeError(f"release of idle resource {self.name!r}")
+        self._in_use -= 1
+        if self._waiters:
+            self._grant(self._waiters.popleft())
+        elif self._in_use == 0 and self._busy_since is not None:
+            self.busy_time += self.env.now - self._busy_since
+            self._busy_since = None
+
+    def _grant(self, ev: Event) -> None:
+        if self._in_use == 0:
+            self._busy_since = self.env.now
+        self._in_use += 1
+        self.total_acquisitions += 1
+        ev.succeed(self)
+
+    def hold(self, duration: float) -> Generator[Event, Any, None]:
+        """Acquire, hold for ``duration`` simulated seconds, release."""
+        yield self.request()
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            self.release()
+
+    def utilization(self) -> float:
+        """Fraction of elapsed time the resource was busy."""
+        busy = self.busy_time
+        if self._busy_since is not None:
+            busy += self.env.now - self._busy_since
+        return busy / self.env.now if self.env.now > 0 else 0.0
+
+
+class Store:
+    """An unbounded FIFO queue of items (a mailbox).
+
+    ``put`` never blocks; ``get`` returns an event that fires with the
+    next item (immediately if one is queued).
+    """
+
+    def __init__(self, env: Environment, name: str = ""):
+        self.env = env
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self.total_puts = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        self.total_puts += 1
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        ev = self.env.event()
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev

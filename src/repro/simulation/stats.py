@@ -1,0 +1,100 @@
+"""Utilization and traffic summaries of a finished simulation.
+
+Used by the benchmark runner to explain *why* a configuration performs
+as it does — which resource saturated (client NICs, server NICs, server
+CPU time, disks) — the same analysis the paper walks through verbally
+in §4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .network import Network
+
+__all__ = ["NodeUtilization", "NetworkSummary", "summarize_network"]
+
+
+@dataclass
+class NodeUtilization:
+    """One node's NIC usage over the run."""
+
+    name: str
+    tx_busy: float
+    rx_busy: float
+    bytes_sent: int
+    bytes_received: int
+
+    def tx_utilization(self, elapsed: float) -> float:
+        return self.tx_busy / elapsed if elapsed > 0 else 0.0
+
+    def rx_utilization(self, elapsed: float) -> float:
+        return self.rx_busy / elapsed if elapsed > 0 else 0.0
+
+
+@dataclass
+class NetworkSummary:
+    """Aggregate traffic statistics with per-group utilization."""
+
+    elapsed: float
+    total_bytes: int
+    total_messages: int
+    nodes: list[NodeUtilization] = field(default_factory=list)
+
+    def group(self, prefix: str) -> list[NodeUtilization]:
+        """Nodes whose name starts with ``prefix`` (e.g. 'ios', 'cn')."""
+        return [n for n in self.nodes if n.name.startswith(prefix)]
+
+    def peak_utilization(self, prefix: str, side: str = "rx") -> float:
+        """Highest per-node NIC utilization in a group (0..1)."""
+        nodes = self.group(prefix)
+        if not nodes or self.elapsed <= 0:
+            return 0.0
+        busy = (
+            max(n.rx_busy for n in nodes)
+            if side == "rx"
+            else max(n.tx_busy for n in nodes)
+        )
+        return busy / self.elapsed
+
+    def mean_utilization(self, prefix: str, side: str = "rx") -> float:
+        nodes = self.group(prefix)
+        if not nodes or self.elapsed <= 0:
+            return 0.0
+        total = sum(
+            (n.rx_busy if side == "rx" else n.tx_busy) for n in nodes
+        )
+        return total / (len(nodes) * self.elapsed)
+
+    def bottleneck(self) -> str:
+        """A one-word guess at the saturated resource group."""
+        candidates = {
+            "server-rx": self.mean_utilization("ios", "rx"),
+            "server-tx": self.mean_utilization("ios", "tx"),
+            "client-rx": self.mean_utilization("cn", "rx"),
+            "client-tx": self.mean_utilization("cn", "tx"),
+        }
+        name, value = max(candidates.items(), key=lambda kv: kv[1])
+        return name if value > 0.5 else "cpu-or-latency"
+
+
+def summarize_network(net: "Network", elapsed: float) -> NetworkSummary:
+    """Snapshot a network's counters into a summary."""
+    summary = NetworkSummary(
+        elapsed=elapsed,
+        total_bytes=net.bytes_transferred,
+        total_messages=net.message_count,
+    )
+    for node in net.nodes.values():
+        summary.nodes.append(
+            NodeUtilization(
+                name=node.name,
+                tx_busy=node.tx_busy_time,
+                rx_busy=node.rx_busy_time,
+                bytes_sent=node.bytes_sent,
+                bytes_received=node.bytes_received,
+            )
+        )
+    return summary

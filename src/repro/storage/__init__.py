@@ -1,0 +1,12 @@
+"""Server-side storage substrate.
+
+:class:`BlockStore` holds the real bytes of one I/O server's portion of
+each file (sparse, chunked, zero-filled holes) and supports gather /
+scatter against :class:`~repro.regions.Regions`.  :class:`DiskModel`
+converts an access's region structure into simulated disk time.
+"""
+
+from .block_store import BlockStore
+from .disk_model import DiskModel
+
+__all__ = ["BlockStore", "DiskModel"]

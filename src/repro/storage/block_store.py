@@ -1,0 +1,120 @@
+"""Sparse, chunked byte store (one per I/O server).
+
+Files are identified by integer handles.  Storage is allocated lazily in
+fixed-size chunks so that paper-scale *phantom* runs (which track sizes
+but never store payloads) and small *real-data* runs (tests, examples)
+share one code path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..regions import Regions
+
+__all__ = ["BlockStore"]
+
+_CHUNK = 1 << 18  # 256 KiB
+
+
+class _FileData:
+    __slots__ = ("chunks", "size")
+
+    def __init__(self):
+        self.chunks: dict[int, np.ndarray] = {}
+        self.size = 0  # one past the highest byte ever written
+
+
+class BlockStore:
+    """Byte-addressable store for the local portion of many files."""
+
+    def __init__(self, chunk_size: int = _CHUNK):
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        self.chunk_size = chunk_size
+        self._files: dict[int, _FileData] = {}
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    # ------------------------------------------------------------------
+    def _file(self, handle: int) -> _FileData:
+        f = self._files.get(handle)
+        if f is None:
+            f = _FileData()
+            self._files[handle] = f
+        return f
+
+    def local_size(self, handle: int) -> int:
+        f = self._files.get(handle)
+        return f.size if f is not None else 0
+
+    def remove(self, handle: int) -> None:
+        self._files.pop(handle, None)
+
+    def handles(self) -> list[int]:
+        return sorted(self._files)
+
+    # ------------------------------------------------------------------
+    def note_write(self, handle: int, regions: Regions) -> None:
+        """Phantom write: extend the size without storing bytes."""
+        f = self._file(handle)
+        if regions.count:
+            _, hi = regions.extent()
+            f.size = max(f.size, hi)
+        self.bytes_written += regions.total_bytes
+
+    def note_read(self, regions: Regions) -> None:
+        """Phantom read accounting."""
+        self.bytes_read += regions.total_bytes
+
+    # ------------------------------------------------------------------
+    def write_regions(self, handle: int, regions: Regions, stream) -> None:
+        """Scatter the packed ``stream`` into the given physical regions."""
+        stream = np.asarray(stream).view(np.uint8).reshape(-1)
+        if stream.size != regions.total_bytes:
+            raise ValueError(
+                f"stream of {stream.size} bytes vs regions of "
+                f"{regions.total_bytes} bytes"
+            )
+        f = self._file(handle)
+        pos = 0
+        cs = self.chunk_size
+        for off, ln in regions:
+            end = off + ln
+            while off < end:
+                ci = off // cs
+                chunk = f.chunks.get(ci)
+                if chunk is None:
+                    chunk = np.zeros(cs, dtype=np.uint8)
+                    f.chunks[ci] = chunk
+                lo = off - ci * cs
+                take = min(end - off, cs - lo)
+                chunk[lo : lo + take] = stream[pos : pos + take]
+                pos += take
+                off += take
+            f.size = max(f.size, end)
+        self.bytes_written += stream.size
+
+    def read_regions(self, handle: int, regions: Regions) -> np.ndarray:
+        """Gather the packed stream of the given physical regions.
+
+        Unwritten bytes read as zero (holes).
+        """
+        out = np.zeros(regions.total_bytes, dtype=np.uint8)
+        f = self._files.get(handle)
+        cs = self.chunk_size
+        pos = 0
+        for off, ln in regions:
+            end = off + ln
+            while off < end:
+                ci = off // cs
+                lo = off - ci * cs
+                take = min(end - off, cs - lo)
+                if f is not None:
+                    chunk = f.chunks.get(ci)
+                    if chunk is not None:
+                        out[pos : pos + take] = chunk[lo : lo + take]
+                pos += take
+                off += take
+        self.bytes_read += out.size
+        return out

@@ -1,0 +1,44 @@
+"""Disk timing model for an I/O server.
+
+Charges a positioning cost for every discontiguous transition (between
+the previous access's end and the next region's start) plus streaming
+transfer time.  The head position persists across requests, so two
+interleaved clients' scattered accesses cost more than one client's
+sequential scan — matching the qualitative behaviour of the paper's
+single SCSI disk per server behind the Linux buffer cache (which is why
+the default seek constant in :class:`~repro.simulation.costs.CostModel`
+is small: most of these workloads replay out of cache/readahead).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..regions import Regions
+from ..simulation.costs import CostModel
+
+__all__ = ["DiskModel"]
+
+
+class DiskModel:
+    """Stateful per-server disk timing."""
+
+    def __init__(self, costs: CostModel):
+        self.costs = costs
+        self._head = 0  # byte position after the last access
+        self.total_seeks = 0
+        self.total_bytes = 0
+
+    def access_time(self, regions: Regions) -> float:
+        """Simulated seconds to read or write the given regions."""
+        if not regions.count:
+            return 0.0
+        ends = regions.offsets + regions.lengths
+        seeks = int(regions.offsets[0] != self._head)
+        if regions.count > 1:
+            seeks += int(np.count_nonzero(regions.offsets[1:] != ends[:-1]))
+        self._head = int(ends[-1])
+        nbytes = regions.total_bytes
+        self.total_seeks += seeks
+        self.total_bytes += nbytes
+        return seeks * self.costs.disk_seek + nbytes / self.costs.disk_bandwidth

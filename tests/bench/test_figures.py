@@ -1,0 +1,43 @@
+"""Figure harness functions (small parameterizations)."""
+
+import pytest
+
+from repro.bench import figures
+
+
+class TestFigureHarness:
+    def test_fig8_small(self):
+        fig = figures.fig8(frames=1, methods=["posix", "datatype_io"])
+        assert fig.xs() == [6]
+        assert fig.series["datatype_io"][6] > fig.series["posix"][6]
+
+    def test_fig10_small(self):
+        read_fig, write_fig = figures.fig10(
+            client_dims=(2,), methods=["datatype_io"], grid=60
+        )
+        assert read_fig.xs() == [8]
+        assert write_fig.series["datatype_io"][8] > 0
+
+    def test_fig12_small(self):
+        fig = figures.fig12(
+            client_counts=(2,), methods=["two_phase", "data_sieving"]
+        )
+        # sieving writes unsupported -> None point
+        assert fig.series["data_sieving"][2] is None
+        assert fig.series["two_phase"][2] > 0
+
+    def test_fig12_posix_limit(self):
+        fig = figures.fig12(
+            client_counts=(2,), methods=["posix"], posix_limit=1
+        )
+        assert "posix" not in fig.series or 2 not in fig.series.get(
+            "posix", {}
+        )
+
+    def test_series_accumulation(self):
+        fig = figures.FigureSeries("t", "x")
+        fig.add("m", 1, 10.0)
+        fig.add("m", 2, 20.0)
+        fig.add("n", 1, None)
+        assert fig.xs() == [1, 2]
+        assert fig.series["m"] == {1: 10.0, 2: 20.0}

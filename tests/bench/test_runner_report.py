@@ -1,0 +1,140 @@
+"""Runner, report formatting, and CLI."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    Block3DWorkload,
+    FlashWorkload,
+    TileWorkload,
+    RunResult,
+    run_workload,
+)
+from repro.bench.characteristics import CharacteristicsRow
+from repro.bench.figures import FigureSeries
+from repro.bench.report import (
+    format_mib,
+    render_characteristics,
+    render_figure,
+)
+from repro.bench.cli import main as cli_main
+
+MIB = 1024 * 1024
+
+
+class TestRunner:
+    def test_verify_requires_real_data(self):
+        with pytest.raises(ValueError):
+            run_workload(TileWorkload.reduced(), "posix", phantom=True, verify=True)
+
+    def test_phantom_run_result_fields(self):
+        r = run_workload(Block3DWorkload.reduced(2), "datatype_io")
+        assert r.supported
+        assert r.elapsed > 0
+        assert r.n_clients == 8
+        assert r.desired_bytes == (24 // 2) ** 3 * 4
+        assert r.bandwidth_mbps > 0
+        assert r.total_desired == r.desired_bytes * 8
+        assert r.server_stats["requests"] > 0
+
+    def test_unsupported_method_reported(self):
+        wl = FlashWorkload.reduced(2)  # write test
+        r = run_workload(wl, "data_sieving")
+        assert not r.supported
+        assert r.bandwidth_mbps == 0.0
+        assert "locking" in r.note
+        assert r.row()["desired"] is None
+
+    def test_verify_write_roundtrip(self):
+        wl = Block3DWorkload.reduced(2, is_write=True)
+        r = run_workload(wl, "list_io", phantom=False, verify=True)
+        assert r.supported
+
+    def test_read_workload_real_data(self):
+        wl = TileWorkload.reduced(frames=1)
+        r = run_workload(wl, "datatype_io", phantom=False)
+        assert r.supported
+        assert r.accessed_bytes == r.desired_bytes
+
+    def test_repetitions_scale_desired(self):
+        one = run_workload(TileWorkload.reduced(frames=1), "datatype_io")
+        two = run_workload(TileWorkload.reduced(frames=2), "datatype_io")
+        assert two.desired_bytes == 2 * one.desired_bytes
+        assert two.io_ops == 2 * one.io_ops
+
+    def test_row_shape(self):
+        r = run_workload(TileWorkload.reduced(), "datatype_io")
+        row = r.row()
+        assert set(row) == {"method", "desired", "accessed", "ops", "resent"}
+
+
+class TestReport:
+    def test_format_mib(self):
+        assert format_mib(None) == "—"
+        assert format_mib(0) == "—"
+        assert format_mib(2.25 * MIB) == "2.25 MB"
+        assert format_mib(30.5 * MIB) == "30.5 MB"
+        assert format_mib(412 * MIB) == "412 MB"
+
+    def test_render_characteristics(self):
+        rows = [
+            CharacteristicsRow(
+                "posix", True, int(2.25 * MIB), int(2.25 * MIB), 768, 0
+            ),
+            CharacteristicsRow("data_sieving", False),
+        ]
+        text = render_characteristics("T", rows)
+        assert "POSIX I/O" in text
+        assert "768" in text
+        assert "2.25 MB" in text
+        # unsupported row renders as dashes
+        assert text.splitlines()[-1].count("—") == 4
+
+    def test_render_figure(self):
+        fig = FigureSeries("f", "clients")
+        fig.add("posix", 8, 1.5)
+        fig.add("posix", 27, None)
+        fig.add("datatype_io", 8, 43.7)
+        text = render_figure(fig)
+        assert "43.7" in text
+        assert "—" in text
+        assert fig.xs() == [8, 27]
+
+
+class TestCLI:
+    def test_table1(self, capsys, tmp_path):
+        rc = cli_main(["table1", "--out", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Datatype I/O" in out
+        assert (tmp_path / "table1.txt").exists()
+
+    def test_table3(self, capsys):
+        rc = cli_main(["table3", "--flash-clients", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "983,040" in out
+        assert "15,360" in out
+
+    def test_table2_single_dim(self, capsys):
+        rc = cli_main(["table2", "--clients-per-dim", "2"])
+        assert rc == 0
+        assert "8 clients" in capsys.readouterr().out
+
+    def test_fig8_quick(self, capsys):
+        rc = cli_main(["fig8", "--quick"])
+        assert rc == 0
+        assert "fig8-tile-read" in capsys.readouterr().out
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["figure99"])
+
+
+class TestValidateCLI:
+    def test_validate_command(self, capsys, tmp_path):
+        rc = cli_main(["validate", "--out", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cross-method checks passed" in out
+        assert (tmp_path / "validate.txt").exists()

@@ -1,0 +1,76 @@
+"""The cross-method validation harness itself."""
+
+import numpy as np
+import pytest
+
+from repro.bench import Block3DWorkload, FlashWorkload, TileWorkload
+from repro.bench.validate import validate_workload
+from repro.pvfs import PVFSConfig
+
+
+class TestValidateWorkload:
+    def test_block3d_full_matrix(self):
+        report = validate_workload(Block3DWorkload.reduced(2, is_write=True))
+        # sieving writes skipped (no locking); 4 write x 5 read x 8 ranks
+        assert report.skipped == ["data_sieving"]
+        assert report.checks == 4 * 5 * 8
+        assert report.ok
+        assert "checks passed" in report.summary()
+
+    def test_flash_matrix(self):
+        report = validate_workload(FlashWorkload.reduced(2))
+        assert report.checks == 4 * 5 * 2
+        assert len(set(report.file_images.values())) == 1
+
+    def test_with_locking_sieving_writes_validate_too(self):
+        report = validate_workload(
+            Block3DWorkload.reduced(2, is_write=True),
+            config=PVFSConfig(
+                n_servers=4, strip_size=256, supports_locking=True
+            ),
+        )
+        assert report.skipped == []
+        assert report.checks == 5 * 5 * 8
+
+    def test_tile_geometry_single_tile(self):
+        # validation writes then reads; the 6-tile wall has overlapping
+        # tiles (concurrent overlapping writes are undefined), so
+        # validate the geometry with a single tile
+        wl = TileWorkload(
+            tile_rows=1,
+            tile_cols=1,
+            tile_w=32,
+            tile_h=16,
+            overlap_x=0,
+            overlap_y=0,
+            repetitions=1,
+        )
+        report = validate_workload(wl)
+        assert report.checks == 4 * 5
+
+    def test_detects_corruption(self, monkeypatch):
+        """A deliberately broken read path must be caught."""
+        from repro.mpiio.methods import dtype as dtype_mod
+
+        orig = dtype_mod.dtype_read
+
+        def broken_read(op):
+            yield from orig(op)
+            if op.buf is not None and op.buf.size:
+                op.buf[0] ^= 0xFF  # flip a byte after the read
+
+        monkeypatch.setattr(dtype_mod, "dtype_read", broken_read)
+        from repro.mpiio.adio import METHODS, AccessMethod
+
+        m = METHODS["datatype_io"]
+        monkeypatch.setitem(
+            METHODS,
+            "datatype_io",
+            AccessMethod(m.name, broken_read, m.write, m.collective),
+        )
+        with pytest.raises(AssertionError, match="mismatch"):
+            validate_workload(
+                Block3DWorkload.reduced(2, is_write=True),
+                write_methods=["posix"],
+                read_methods=["datatype_io"],
+            )

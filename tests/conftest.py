@@ -1,0 +1,107 @@
+"""Shared fixtures and hypothesis strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.regions import Regions
+
+
+# ----------------------------------------------------------------------
+# hypothesis strategies
+# ----------------------------------------------------------------------
+@st.composite
+def region_lists(draw, max_regions=20, max_offset=10_000, max_len=500):
+    """Arbitrary (possibly overlapping, unordered) region pair lists."""
+    n = draw(st.integers(0, max_regions))
+    pairs = []
+    for _ in range(n):
+        off = draw(st.integers(0, max_offset))
+        ln = draw(st.integers(1, max_len))
+        pairs.append((off, ln))
+    return pairs
+
+
+@st.composite
+def sorted_region_lists(draw, max_regions=20):
+    """Disjoint ascending regions (a valid file access)."""
+    n = draw(st.integers(0, max_regions))
+    pairs = []
+    cursor = 0
+    for _ in range(n):
+        gap = draw(st.integers(0, 50))
+        ln = draw(st.integers(1, 100))
+        pairs.append((cursor + gap, ln))
+        cursor += gap + ln
+    return pairs
+
+
+@st.composite
+def small_datatypes(draw, depth=0):
+    """Recursively built derived datatypes with small footprints."""
+    from repro.datatypes import (
+        BYTE,
+        DOUBLE,
+        INT,
+        SHORT,
+        contiguous,
+        hindexed,
+        hvector,
+        indexed,
+        resized,
+        struct,
+        vector,
+    )
+
+    if depth >= 2:
+        return draw(st.sampled_from([BYTE, SHORT, INT, DOUBLE]))
+    base = st.deferred(lambda: small_datatypes(depth + 1))
+    choice = draw(st.integers(0, 6))
+    old = draw(base)
+    if choice == 0:
+        return draw(st.sampled_from([BYTE, SHORT, INT, DOUBLE]))
+    if choice == 1:
+        return contiguous(draw(st.integers(0, 4)), old)
+    if choice == 2:
+        return vector(
+            draw(st.integers(0, 3)),
+            draw(st.integers(0, 3)),
+            draw(st.integers(-4, 6)),
+            old,
+        )
+    if choice == 3:
+        return hvector(
+            draw(st.integers(0, 3)),
+            draw(st.integers(0, 3)),
+            draw(st.integers(-40, 60)),
+            old,
+        )
+    if choice == 4:
+        n = draw(st.integers(0, 3))
+        bls = [draw(st.integers(0, 3)) for _ in range(n)]
+        disps = [draw(st.integers(0, 10)) for _ in range(n)]
+        return indexed(bls, disps, old)
+    if choice == 5:
+        n = draw(st.integers(1, 3))
+        bls = [draw(st.integers(0, 2)) for _ in range(n)]
+        disps = sorted(draw(st.integers(0, 100)) for _ in range(n))
+        types = [draw(base) for _ in range(n)]
+        return struct(bls, disps, types)
+    # resized
+    lb = draw(st.integers(-8, 8))
+    extent = draw(st.integers(0, 64))
+    return resized(old, lb, extent)
+
+
+# ----------------------------------------------------------------------
+# fixtures
+# ----------------------------------------------------------------------
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+def make_regions(pairs) -> Regions:
+    return Regions.from_pairs(pairs)

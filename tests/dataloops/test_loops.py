@@ -1,0 +1,132 @@
+"""Dataloop node validation and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.dataloops import Dataloop
+
+
+class TestConstruction:
+    def test_final_contig(self):
+        dl = Dataloop.final_contig(10, 4)
+        assert dl.kind == "contig"
+        assert dl.is_final
+        assert dl.data_size == 40
+        assert dl.extent == 40
+        assert dl.region_count == 1
+        assert dl.depth == 1
+
+    def test_final_vector(self):
+        dl = Dataloop.final_vector(5, 2, 16, 4)
+        assert dl.data_size == 40
+        assert dl.region_count == 5
+        assert dl.extent == 4 * 16 + 8
+
+    def test_contig_of_vector(self):
+        inner = Dataloop.final_vector(3, 1, 8, 4)
+        dl = Dataloop.contig(2, inner)
+        assert dl.data_size == 24
+        assert dl.region_count == 6
+        assert dl.depth == 2
+
+    def test_blockindexed(self):
+        dl = Dataloop.final_blockindexed(2, [0, 20, 40], 4, 48)
+        assert dl.data_size == 24
+        assert dl.region_count == 3
+
+    def test_indexed(self):
+        dl = Dataloop.final_indexed([1, 3], [0, 10], 4, 24)
+        assert dl.data_size == 16
+        assert dl.region_count == 2
+        assert dl._block_stream_cum.tolist() == [0, 4, 16]
+
+    def test_struct(self):
+        a = Dataloop.final_contig(1, 4)
+        b = Dataloop.final_contig(1, 8)
+        dl = Dataloop.struct([2, 1], [0, 16], [a, b], 24)
+        assert dl.data_size == 16
+        assert dl.region_count == 3
+        assert dl._block_stream_cum.tolist() == [0, 8, 16]
+
+    def test_resized_copy(self):
+        dl = Dataloop.final_contig(2, 4)
+        r = Dataloop.resized(dl, 100)
+        assert r.extent == 100
+        assert r.data_size == dl.data_size
+        assert Dataloop.resized(dl, dl.extent) is dl
+
+
+class TestValidation:
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            Dataloop("funky", 1, 0)
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            Dataloop.final_contig(-1, 4)
+
+    def test_final_needs_el_size(self):
+        with pytest.raises(ValueError):
+            Dataloop("contig", 1, 4, is_final=True, el_size=0)
+
+    def test_struct_cannot_be_final(self):
+        with pytest.raises(ValueError):
+            Dataloop("struct", 0, 0, is_final=True, el_size=1)
+
+    def test_nonfinal_needs_child(self):
+        with pytest.raises(ValueError):
+            Dataloop("contig", 1, 4)
+
+    def test_indexed_needs_offsets(self):
+        with pytest.raises(ValueError):
+            Dataloop("indexed", 2, 8, is_final=True, el_size=1)
+
+    def test_struct_shape_mismatch(self):
+        a = Dataloop.final_contig(1, 4)
+        with pytest.raises(ValueError):
+            Dataloop.struct([1, 1], [0], [a], 8)
+
+
+class TestFlattenFull:
+    def test_final_kinds(self):
+        assert Dataloop.final_contig(3, 4).flatten_full().to_pairs() == [
+            (0, 12)
+        ]
+        assert Dataloop.final_vector(3, 1, 8, 4).flatten_full().to_pairs() == [
+            (0, 4),
+            (8, 4),
+            (16, 4),
+        ]
+        assert Dataloop.final_blockindexed(
+            1, [0, 10], 4, 16
+        ).flatten_full().to_pairs() == [(0, 4), (10, 4)]
+        assert Dataloop.final_indexed(
+            [2, 1], [0, 10], 4, 16
+        ).flatten_full().to_pairs() == [(0, 8), (10, 4)]
+
+    def test_nested(self):
+        inner = Dataloop.final_vector(2, 1, 8, 4)  # (0,4),(8,4); extent 12
+        outer = Dataloop.vector(2, 1, 100, inner)
+        assert outer.flatten_full().to_pairs() == [
+            (0, 4),
+            (8, 4),
+            (100, 4),
+            (108, 4),
+        ]
+
+    def test_struct_traversal_order(self):
+        a = Dataloop.final_contig(1, 4)
+        dl = Dataloop.struct([1, 1], [8, 0], [a, a], 12)
+        assert dl.flatten_full().to_pairs() == [(8, 4), (0, 4)]
+
+    def test_cached(self):
+        dl = Dataloop.final_vector(3, 1, 8, 4)
+        assert dl.flatten_full() is dl.flatten_full()
+
+    def test_node_count_and_describe(self):
+        inner = Dataloop.final_contig(4, 1)
+        outer = Dataloop.vector(2, 2, 10, inner)
+        assert outer.node_count() == 2
+        assert "vector" in outer.describe()
+        assert "contig" in outer.describe()
+        assert "Dataloop" in repr(outer)

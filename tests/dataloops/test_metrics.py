@@ -1,0 +1,54 @@
+"""Analytic dataloop metrics vs measured expansions."""
+
+from hypothesis import given, settings
+
+from repro.dataloops import DataloopStream, build_dataloop, stream_regions
+
+from ..conftest import small_datatypes
+
+
+class TestAnalyticMetrics:
+    @given(small_datatypes())
+    @settings(max_examples=120, deadline=None)
+    def test_data_size_matches_stream(self, t):
+        loop = build_dataloop(t)
+        assert loop.data_size == t.size
+        assert stream_regions(loop).total_bytes == t.size
+
+    @given(small_datatypes())
+    @settings(max_examples=120, deadline=None)
+    def test_region_count_is_upper_bound(self, t):
+        """`region_count` counts leaf runs before cross-block
+        coalescing, so it bounds the materialized count from above."""
+        loop = build_dataloop(t)
+        actual = stream_regions(loop).count
+        assert actual <= max(loop.region_count, 1)
+
+    @given(small_datatypes())
+    @settings(max_examples=100, deadline=None)
+    def test_depth_positive_and_bounded(self, t):
+        loop = build_dataloop(t)
+        assert 1 <= loop.depth <= loop.node_count() + 1
+
+    @given(small_datatypes())
+    @settings(max_examples=60, deadline=None)
+    def test_stream_batches_union_equals_full(self, t):
+        loop = build_dataloop(t)
+        from repro.regions import Regions
+
+        batches = list(DataloopStream(loop, count=2, max_regions=3))
+        assert Regions.concat(batches).coalesce() == stream_regions(
+            loop, count=2
+        )
+
+    def test_concise_for_paper_types(self):
+        """The paper's three filetypes compile to tiny trees."""
+        from repro.bench import Block3DWorkload, FlashWorkload, TileWorkload
+
+        for wl, max_nodes in [
+            (TileWorkload.paper(), 3),
+            (Block3DWorkload.paper(2), 4),
+            (FlashWorkload.paper(4), 2),
+        ]:
+            loop = build_dataloop(wl.filetype(0))
+            assert loop.node_count() <= max_nodes, wl.name

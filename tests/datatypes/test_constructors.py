@@ -1,0 +1,275 @@
+"""Constructor semantics: size, extent, bounds (MPI-3.1 §4.1 rules)."""
+
+import pytest
+
+from repro.datatypes import (
+    BYTE,
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    INT,
+    LONG,
+    LONG_LONG,
+    SHORT,
+    contiguous,
+    dup,
+    hindexed,
+    hindexed_block,
+    hvector,
+    indexed,
+    indexed_block,
+    resized,
+    struct,
+    subarray,
+    vector,
+)
+
+
+class TestPrimitives:
+    @pytest.mark.parametrize(
+        "t,size",
+        [
+            (BYTE, 1),
+            (CHAR, 1),
+            (SHORT, 2),
+            (INT, 4),
+            (FLOAT, 4),
+            (LONG, 8),
+            (LONG_LONG, 8),
+            (DOUBLE, 8),
+        ],
+    )
+    def test_sizes(self, t, size):
+        assert t.size == size
+        assert t.extent == size
+        assert t.lb == 0 and t.ub == size
+        assert t.true_lb == 0 and t.true_ub == size
+        assert t.is_predefined
+        assert t.is_contiguous
+
+    def test_contents_invalid_on_named(self):
+        with pytest.raises(ValueError):
+            INT.contents()
+
+    def test_envelope_named(self):
+        assert INT.envelope() == (0, 0, 0, "named")
+
+    def test_depth_zero(self):
+        assert INT.depth() == 0
+
+
+class TestContiguous:
+    def test_basic(self):
+        t = contiguous(5, INT)
+        assert t.size == 20
+        assert t.extent == 20
+        assert t.is_contiguous
+
+    def test_zero_count(self):
+        t = contiguous(0, INT)
+        assert t.size == 0
+        assert t.extent == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            contiguous(-1, INT)
+
+    def test_nested(self):
+        t = contiguous(3, contiguous(2, INT))
+        assert t.size == 24
+        assert t.extent == 24
+
+    def test_of_resized(self):
+        # child extent 12 > size 4: instances step by 12
+        t = contiguous(3, resized(INT, 0, 12))
+        assert t.size == 12
+        assert t.extent == 36
+        assert t.flatten().to_pairs() == [(0, 4), (12, 4), (24, 4)]
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            contiguous(3, "INT")
+
+
+class TestVector:
+    def test_basic(self):
+        t = vector(3, 2, 4, INT)
+        assert t.size == 24
+        assert t.extent == (2 * 4 + 2) * 4  # last block end
+
+    def test_extent_formula(self):
+        # MPI: ub = ((count-1)*stride + blocklength) * extent(old)
+        t = vector(4, 3, 5, INT)
+        assert t.ub == ((4 - 1) * 5 + 3) * 4
+        assert t.lb == 0
+
+    def test_negative_stride(self):
+        t = vector(3, 1, -2, INT)
+        assert t.lb == -2 * 2 * 4
+        assert t.size == 12
+
+    def test_degenerate_dense(self):
+        t = vector(3, 2, 2, INT)  # stride == blocklength: dense
+        assert t.flatten().to_pairs() == [(0, 24)]
+
+    def test_hvector_byte_stride(self):
+        t = hvector(3, 1, 10, INT)
+        assert t.flatten().to_pairs() == [(0, 4), (10, 4), (20, 4)]
+        assert t.extent == 24
+
+    def test_zero_count(self):
+        assert vector(0, 2, 4, INT).size == 0
+
+    def test_zero_blocklength(self):
+        assert vector(3, 0, 4, INT).size == 0
+
+
+class TestIndexed:
+    def test_basic(self):
+        t = indexed([2, 1], [0, 4], INT)
+        assert t.size == 12
+        # displacements in elements: block 1 at byte 16
+        assert t.flatten().to_pairs() == [(0, 8), (16, 4)]
+
+    def test_hindexed_bytes(self):
+        t = hindexed([1, 1], [0, 6], INT)
+        assert t.flatten().to_pairs() == [(0, 4), (6, 4)]
+
+    def test_indexed_block(self):
+        t = indexed_block(2, [0, 4, 8], INT)
+        assert t.size == 24
+        assert t.combiner == "indexed_block"
+
+    def test_hindexed_block(self):
+        t = hindexed_block(1, [0, 100], INT)
+        assert t.flatten().to_pairs() == [(0, 4), (100, 4)]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            indexed([1, 2], [0], INT)
+
+    def test_out_of_order_displacements_keep_order(self):
+        t = hindexed([1, 1], [8, 0], INT)
+        # traversal order is block order, not offset order
+        assert t.flatten().to_pairs() == [(8, 4), (0, 4)]
+
+    def test_empty_blocks(self):
+        t = indexed([0, 2, 0], [0, 1, 5], INT)
+        assert t.size == 8
+        assert t.flatten().to_pairs() == [(4, 8)]
+
+    def test_bounds(self):
+        t = hindexed([1, 1], [10, 0], INT)
+        assert t.lb == 0
+        assert t.ub == 14
+
+
+class TestStruct:
+    def test_basic(self):
+        t = struct([2, 1], [0, 16], [INT, DOUBLE])
+        assert t.size == 16
+        assert t.ub == 24
+
+    def test_heterogeneous_flatten(self):
+        t = struct([1, 1], [0, 8], [INT, DOUBLE])
+        assert t.flatten().to_pairs() == [(0, 4), (8, 8)]
+
+    def test_field_order_preserved(self):
+        t = struct([1, 1], [8, 0], [INT, INT])
+        assert t.flatten().to_pairs() == [(8, 4), (0, 4)]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            struct([1], [0, 8], [INT, INT])
+
+    def test_no_alignment_padding(self):
+        # we deliberately skip C struct padding (use resized instead)
+        t = struct([1, 1], [0, 8], [DOUBLE, CHAR])
+        assert t.extent == 9
+
+    def test_empty_fields_ignored_in_size(self):
+        t = struct([0, 1], [0, 0], [DOUBLE, INT])
+        assert t.size == 4
+
+
+class TestResizedDup:
+    def test_resized(self):
+        t = resized(INT, -4, 16)
+        assert t.lb == -4
+        assert t.ub == 12
+        assert t.extent == 16
+        assert t.size == 4
+        assert t.true_lb == 0 and t.true_ub == 4
+
+    def test_resized_tiling(self):
+        t = resized(INT, 0, 10)
+        assert t.flatten(3).to_pairs() == [(0, 4), (10, 4), (20, 4)]
+
+    def test_dup_transparent(self):
+        t = dup(vector(2, 1, 3, INT))
+        assert t.size == 8
+        assert t.flatten() == vector(2, 1, 3, INT).flatten()
+        assert t.combiner == "dup"
+
+
+class TestSubarray:
+    def test_2d(self):
+        t = subarray([4, 6], [2, 3], [1, 2], BYTE)
+        assert t.size == 6
+        assert t.extent == 24  # full array
+        assert t.flatten().to_pairs() == [(8, 3), (14, 3)]
+
+    def test_3d_extent(self):
+        t = subarray([10, 10, 10], [2, 2, 2], [0, 0, 0], INT)
+        assert t.extent == 4000
+        assert t.size == 32
+
+    def test_fortran_order(self):
+        c = subarray([4, 6], [2, 3], [1, 2], BYTE, order="C")
+        f = subarray([6, 4], [3, 2], [2, 1], BYTE, order="F")
+        assert f.flatten() == c.flatten()
+
+    def test_full_array_is_dense(self):
+        t = subarray([3, 3], [3, 3], [0, 0], INT)
+        assert t.flatten().to_pairs() == [(0, 36)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            subarray([4], [5], [0], INT)  # subsize > size
+        with pytest.raises(ValueError):
+            subarray([4], [2], [3], INT)  # start+subsize > size
+        with pytest.raises(ValueError):
+            subarray([4], [2], [-1], INT)
+        with pytest.raises(ValueError):
+            subarray([4, 4], [2], [0], INT)  # rank mismatch
+        with pytest.raises(ValueError):
+            subarray([4], [2], [0], INT, order="X")
+        with pytest.raises(ValueError):
+            subarray([], [], [], INT)
+
+    def test_tiling_steps_whole_arrays(self):
+        t = subarray([2, 2], [1, 1], [0, 0], BYTE)
+        assert t.flatten(2).to_pairs() == [(0, 1), (4, 1)]
+
+
+class TestMisc:
+    def test_describe_runs(self):
+        for t in [
+            INT,
+            contiguous(2, INT),
+            vector(2, 1, 3, INT),
+            indexed([1], [0], INT),
+            struct([1], [0], [INT]),
+            resized(INT, 0, 8),
+            subarray([2, 2], [1, 1], [0, 0], INT),
+            dup(INT),
+        ]:
+            assert isinstance(t.describe(), str)
+            assert isinstance(repr(t), str)
+
+    def test_depth(self):
+        assert contiguous(2, vector(2, 1, 3, INT)).depth() == 2
+
+    def test_flat_region_count(self):
+        assert vector(5, 1, 2, INT).flat_region_count() == 5
+        assert contiguous(5, INT).flat_region_count() == 1

@@ -1,0 +1,125 @@
+"""MPI_Type_get_envelope / get_contents introspection."""
+
+import pytest
+
+from repro.datatypes import (
+    DOUBLE,
+    INT,
+    contiguous,
+    dup,
+    hindexed,
+    hindexed_block,
+    hvector,
+    indexed,
+    indexed_block,
+    resized,
+    struct,
+    subarray,
+    vector,
+)
+
+
+def test_contiguous_contents():
+    t = contiguous(5, INT)
+    assert t.envelope() == (1, 0, 1, "contiguous")
+    ints, addrs, types = t.contents()
+    assert ints == (5,)
+    assert addrs == ()
+    assert types == (INT,)
+
+
+def test_vector_contents():
+    t = vector(3, 2, 4, INT)
+    assert t.envelope() == (3, 0, 1, "vector")
+    assert t.contents() == ((3, 2, 4), (), (INT,))
+
+
+def test_hvector_contents():
+    t = hvector(3, 2, 40, INT)
+    assert t.envelope() == (2, 1, 1, "hvector")
+    assert t.contents() == ((3, 2), (40,), (INT,))
+
+
+def test_indexed_contents():
+    t = indexed([2, 1], [0, 4], INT)
+    ints, addrs, types = t.contents()
+    assert ints == (2, 2, 1, 0, 4)
+    assert addrs == ()
+    assert t.envelope()[3] == "indexed"
+
+
+def test_hindexed_contents():
+    t = hindexed([2, 1], [0, 16], INT)
+    ints, addrs, types = t.contents()
+    assert ints == (2, 2, 1)
+    assert addrs == (0, 16)
+
+
+def test_indexed_block_contents():
+    t = indexed_block(3, [0, 5, 9], INT)
+    ints, addrs, types = t.contents()
+    assert ints == (3, 3, 0, 5, 9)
+
+
+def test_hindexed_block_contents():
+    t = hindexed_block(2, [0, 50], INT)
+    ints, addrs, types = t.contents()
+    assert ints == (2, 2)
+    assert addrs == (0, 50)
+
+
+def test_struct_contents():
+    t = struct([1, 2], [0, 8], [INT, DOUBLE])
+    ints, addrs, types = t.contents()
+    assert ints == (2, 1, 2)
+    assert addrs == (0, 8)
+    assert types == (INT, DOUBLE)
+
+
+def test_resized_contents():
+    t = resized(INT, -4, 16)
+    ints, addrs, types = t.contents()
+    assert addrs == (-4, 16)
+    assert types == (INT,)
+
+
+def test_dup_contents():
+    t = dup(INT)
+    assert t.contents() == ((), (), (INT,))
+
+
+def test_subarray_contents_roundtrip():
+    t = subarray([6, 8], [2, 3], [1, 2], INT)
+    ints, addrs, types = t.contents()
+    n = ints[0]
+    assert n == 2
+    assert list(ints[1 : 1 + n]) == [6, 8]
+    assert list(ints[1 + n : 1 + 2 * n]) == [2, 3]
+    assert list(ints[1 + 2 * n : 1 + 3 * n]) == [1, 2]
+    assert ints[-1] == 0  # C order flag
+
+
+def test_envelope_counts_match_contents():
+    cases = [
+        contiguous(2, INT),
+        vector(2, 1, 3, INT),
+        hvector(2, 1, 24, INT),
+        indexed([1], [0], INT),
+        hindexed([1], [0], INT),
+        indexed_block(1, [0, 2], INT),
+        hindexed_block(1, [0, 8], INT),
+        struct([1], [0], [INT]),
+        resized(INT, 0, 8),
+        dup(INT),
+        subarray([4, 4], [2, 2], [0, 0], INT),
+    ]
+    for t in cases:
+        ni, na, nt, comb = t.envelope()
+        ints, addrs, types = t.contents()
+        assert (len(ints), len(addrs), len(types)) == (ni, na, nt), comb
+
+
+def test_iter_children():
+    t = struct([1, 1], [0, 8], [INT, DOUBLE])
+    assert list(t.iter_children()) == [INT, DOUBLE]
+    assert list(INT.iter_children()) == []

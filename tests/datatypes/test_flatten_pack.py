@@ -1,0 +1,150 @@
+"""Flattening and pack/unpack, cross-checked against the typemap."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.datatypes import (
+    BYTE,
+    DOUBLE,
+    INT,
+    contiguous,
+    hvector,
+    indexed,
+    pack,
+    resized,
+    struct,
+    subarray,
+    typemap,
+    unpack,
+    vector,
+)
+from repro.datatypes.typemap import typemap_regions
+
+from ..conftest import small_datatypes
+
+
+class TestFlatten:
+    def test_flatten_count_tiles_at_extent(self):
+        t = vector(2, 1, 2, INT)  # extent 12? blocks at 0 and 8
+        one = t.flatten()
+        two = t.flatten(2)
+        assert two.total_bytes == 2 * t.size
+        # instance 1 shifted by extent
+        shift = t.extent
+        expected = one.to_pairs() + [(o + shift, l) for o, l in one]
+        # adjacent runs may coalesce at the seam; compare as byte sets
+        assert two.normalized() == t.flatten(2).normalized()
+        assert sum(l for _, l in expected) == two.total_bytes
+
+    def test_flatten_base_offset(self):
+        t = contiguous(2, INT)
+        assert t.flatten(1, 100).to_pairs() == [(100, 8)]
+
+    def test_flatten_negative_count(self):
+        with pytest.raises(ValueError):
+            INT.flatten(-1)
+
+    def test_flatten_caches(self):
+        t = vector(3, 1, 2, INT)
+        assert t.flatten() == t.flatten()
+
+    def test_flatten_matches_typemap_runs(self):
+        cases = [
+            contiguous(4, INT),
+            vector(3, 2, 4, INT),
+            hvector(3, 2, 40, DOUBLE),
+            indexed([2, 0, 1], [5, 0, 0], INT),
+            struct([1, 2], [16, 0], [DOUBLE, INT]),
+            subarray([5, 5], [2, 2], [1, 1], INT),
+            resized(vector(2, 1, 3, INT), -4, 40),
+        ]
+        for t in cases:
+            for count in (1, 2, 3):
+                assert (
+                    t.flatten(count).to_pairs()
+                    == typemap_regions(t, count)
+                ), t.describe()
+
+    @given(small_datatypes())
+    @settings(max_examples=150, deadline=None)
+    def test_flatten_matches_typemap_property(self, t):
+        assert t.flatten().to_pairs() == typemap_regions(t)
+
+    @given(small_datatypes())
+    @settings(max_examples=80, deadline=None)
+    def test_flatten_two_instances_property(self, t):
+        assert t.flatten(2).to_pairs() == typemap_regions(t, 2)
+
+    @given(small_datatypes())
+    @settings(max_examples=100, deadline=None)
+    def test_size_is_typemap_sum(self, t):
+        assert t.size == sum(s for _, s in typemap(t))
+
+    @given(small_datatypes())
+    @settings(max_examples=100, deadline=None)
+    def test_bounds_cover_typemap(self, t):
+        tm = typemap(t)
+        if not tm:
+            return
+        lo = min(d for d, _ in tm)
+        hi = max(d + s for d, s in tm)
+        assert t.true_lb == lo
+        assert t.true_ub == hi
+        # lb/ub cover the data unless a resized anywhere in the tree
+        # deliberately shrank them (legal in MPI)
+        if not _contains_resized(t):
+            assert t.lb <= lo and t.ub >= hi
+
+
+def _contains_resized(t):
+    if t.combiner == "resized":
+        return True
+    return any(_contains_resized(c) for c in t.iter_children())
+
+
+class TestPack:
+    def test_pack_contiguous(self):
+        buf = np.arange(16, dtype=np.uint8)
+        assert pack(buf, contiguous(4, INT)).tolist() == list(range(16))
+
+    def test_pack_strided(self):
+        buf = np.arange(24, dtype=np.uint8)
+        t = vector(2, 1, 2, INT)
+        assert pack(buf, t).tolist() == [0, 1, 2, 3, 8, 9, 10, 11]
+
+    def test_pack_with_base_offset(self):
+        buf = np.arange(24, dtype=np.uint8)
+        t = contiguous(1, INT)
+        assert pack(buf, t, base_offset=10).tolist() == [10, 11, 12, 13]
+
+    def test_unpack_roundtrip(self, rng):
+        t = struct([2, 3], [0, 32], [INT, DOUBLE])
+        buf = rng.integers(0, 255, t.true_ub, dtype=np.uint8)
+        stream = pack(buf, t)
+        assert stream.size == t.size
+        out = np.zeros_like(buf)
+        unpack(stream, out, t)
+        assert np.array_equal(pack(out, t), stream)
+
+    def test_pack_multiple_instances(self, rng):
+        t = vector(2, 1, 3, INT)
+        buf = rng.integers(0, 255, t.extent * 3 + 16, dtype=np.uint8)
+        stream = pack(buf, t, count=3)
+        assert stream.size == 3 * t.size
+
+    @given(small_datatypes())
+    @settings(max_examples=80, deadline=None)
+    def test_pack_matches_typemap_property(self, t):
+        tm = typemap(t)
+        lo = min((d for d, _ in tm), default=0)
+        hi = max((d + s for d, s in tm), default=0)
+        base = max(0, -lo)
+        buf = np.arange(base + max(hi, 0) + 1, dtype=np.int64).astype(
+            np.uint8
+        )
+        stream = pack(buf, t, base_offset=base)
+        expected = np.concatenate(
+            [buf[base + d : base + d + s] for d, s in tm]
+        ) if tm else np.zeros(0, np.uint8)
+        assert np.array_equal(stream, expected)

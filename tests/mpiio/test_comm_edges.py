@@ -1,0 +1,113 @@
+"""Communicator edge cases and timing properties."""
+
+import pytest
+
+from repro.mpiio import SimMPI
+from repro.pvfs import PVFS
+from repro.simulation import Environment
+
+
+def make_mpi(n, ppn=2):
+    env = Environment()
+    fs = PVFS(env, n_servers=2)
+    return SimMPI(fs, n, procs_per_node=ppn)
+
+
+class TestAlltoallvEdges:
+    def test_empty_exchange(self):
+        mpi = make_mpi(3)
+
+        def main(ctx):
+            got = yield from ctx.comm.alltoallv({}, [])
+            return got
+
+        assert mpi.run(main) == [{}, {}, {}]
+
+    def test_asymmetric_exchange(self):
+        """Only rank 0 sends; only rank 2 expects."""
+        mpi = make_mpi(3)
+
+        def main(ctx):
+            outgoing = {}
+            expected = []
+            if ctx.rank == 0:
+                outgoing = {2: ("hello", 64)}
+            if ctx.rank == 2:
+                expected = [0]
+            got = yield from ctx.comm.alltoallv(outgoing, expected)
+            return got
+
+        res = mpi.run(main)
+        assert res[2] == {0: ("hello", 64)}
+        assert res[0] == {} and res[1] == {}
+
+    def test_self_exchange(self):
+        mpi = make_mpi(2)
+
+        def main(ctx):
+            outgoing = {ctx.rank: (("mine", ctx.rank), 16)}
+            got = yield from ctx.comm.alltoallv(outgoing, [ctx.rank])
+            return got[ctx.rank][0]
+
+        assert mpi.run(main) == [("mine", 0), ("mine", 1)]
+
+    def test_rounds_isolated_by_tag(self):
+        """Two alltoallv rounds with different tags do not cross-talk."""
+        mpi = make_mpi(2)
+
+        def main(ctx):
+            other = 1 - ctx.rank
+            yield from ctx.comm.send(other, 8, payload="r2", tag="round2")
+            got1 = yield from ctx.comm.alltoallv(
+                {other: ("r1", 8)}, [other], tag="round1"
+            )
+            _, p2, _ = yield from ctx.comm.recv(tag="round2")
+            return got1[other][0], p2
+
+        for r1, r2 in mpi.run(main):
+            assert (r1, r2) == ("r1", "r2")
+
+
+class TestSharedNodeContention:
+    def test_two_ranks_share_nic(self):
+        """Two ranks per node halve each rank's effective bandwidth."""
+
+        def timing(ppn):
+            mpi = make_mpi(4, ppn=ppn)
+            env = mpi.env
+            nbytes = 500_000
+
+            def main(ctx):
+                # ranks 0,1 send to ranks 2,3 simultaneously
+                if ctx.rank < 2:
+                    yield from ctx.comm.send(ctx.rank + 2, nbytes)
+                else:
+                    yield from ctx.comm.recv(src=ctx.rank - 2)
+                return env.now
+
+            return max(mpi.run(main))
+
+        shared = timing(ppn=2)  # senders (and receivers) share nodes
+        private = timing(ppn=1)
+        assert shared > private * 1.5
+
+    def test_rank_results_order(self):
+        mpi = make_mpi(5, ppn=2)
+
+        def main(ctx):
+            yield from ctx.comm.barrier()
+            return ctx.rank * 11
+
+        assert mpi.run(main) == [0, 11, 22, 33, 44]
+
+    def test_spawn_returns_processes(self):
+        mpi = make_mpi(2)
+
+        def main(ctx):
+            yield from ctx.comm.barrier()
+            return ctx.rank
+
+        procs = mpi.spawn(main)
+        assert len(procs) == 2
+        vals = mpi.env.run(mpi.env.all_of(procs))
+        assert vals == [0, 1]

@@ -1,0 +1,112 @@
+"""Individual file pointers and File API details."""
+
+import numpy as np
+import pytest
+
+from repro.datatypes import BYTE, INT, contiguous, vector
+from repro.mpiio import File, Hints, SimMPI
+from repro.pvfs import PVFS
+from repro.simulation import Environment
+
+
+def run_one(rank_main):
+    env = Environment()
+    fs = PVFS(env, n_servers=2, strip_size=64)
+    mpi = SimMPI(fs, 1)
+    return fs, mpi.run(rank_main)[0]
+
+
+class TestFilePointer:
+    def test_sequential_writes_advance(self):
+        def main(ctx):
+            f = yield from File.open(ctx, "/seq")
+            for i in range(4):
+                buf = np.full(16, i, dtype=np.uint8)
+                yield from f.write(contiguous(16, BYTE), 1, buf,
+                                   method="posix")
+            assert f.position == 64
+            out = np.zeros(64, np.uint8)
+            f.seek(0)
+            yield from f.read(contiguous(64, BYTE), 1, out,
+                              method="datatype_io")
+            assert f.position == 64
+            return out
+
+        _, out = run_one(main)
+        assert np.array_equal(
+            out, np.repeat(np.arange(4, dtype=np.uint8), 16)
+        )
+
+    def test_seek_modes(self):
+        def main(ctx):
+            f = yield from File.open(ctx, "/s")
+            f.seek(10)
+            assert f.position == 10
+            f.seek(5, "cur")
+            assert f.position == 15
+            f.seek(-15, "cur")
+            assert f.position == 0
+            return True
+
+        _, ok = run_one(main)
+        assert ok
+
+    def test_seek_negative_rejected(self):
+        def main(ctx):
+            f = yield from File.open(ctx, "/s")
+            f.seek(-1)
+
+        with pytest.raises(ValueError):
+            run_one(main)
+
+    def test_seek_bad_whence(self):
+        def main(ctx):
+            f = yield from File.open(ctx, "/s")
+            f.seek(0, "end")
+
+        with pytest.raises(ValueError):
+            run_one(main)
+
+    def test_pointer_counts_etypes(self):
+        def main(ctx):
+            f = yield from File.open(ctx, "/e")
+            f.set_view(0, INT, contiguous(100, INT))
+            buf = np.arange(10, dtype=np.int32).view(np.uint8)
+            yield from f.write(contiguous(10, INT), 1, buf)
+            return f.position
+
+        _, pos = run_one(main)
+        assert pos == 10  # etypes (ints), not bytes
+
+    def test_set_view_resets_pointer(self):
+        def main(ctx):
+            f = yield from File.open(ctx, "/r")
+            f.seek(42)
+            f.set_view(0, BYTE, BYTE)
+            return f.position
+
+        _, pos = run_one(main)
+        assert pos == 0
+
+    def test_pointer_through_strided_view(self):
+        """The pointer walks the *view's* stream, not raw file bytes."""
+
+        def main(ctx):
+            f = yield from File.open(ctx, "/v")
+            f.set_view(0, BYTE, vector(8, 2, 4, BYTE))
+            a = np.full(4, 1, dtype=np.uint8)
+            b = np.full(4, 2, dtype=np.uint8)
+            yield from f.write(contiguous(4, BYTE), 1, a)
+            yield from f.write(contiguous(4, BYTE), 1, b)
+            out = np.zeros(8, np.uint8)
+            f.seek(0)
+            yield from f.read(contiguous(8, BYTE), 1, out)
+            return out
+
+        fs, out = run_one(main)
+        assert out.tolist() == [1, 1, 1, 1, 2, 2, 2, 2]
+        # on disk: 2 data bytes every 4
+        handle = fs.metadata.files["/v"].handle
+        raw = fs.read_back(handle, 0, 16)
+        assert raw.tolist() == [1, 1, 0, 0, 1, 1, 0, 0,
+                                2, 2, 0, 0, 2, 2, 0, 0]

@@ -1,0 +1,81 @@
+"""List I/O operation splitting (the dual 64-region bound)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mpiio.methods.listio import dual_bounded_cuts
+from repro.regions import Regions
+
+from ..conftest import sorted_region_lists
+
+
+def contiguous_regions(total):
+    return Regions.single(0, total)
+
+
+class TestDualBoundedCuts:
+    def test_contiguous_mem_cuts_by_file(self):
+        mem = contiguous_regions(768 * 10)
+        fil = Regions.from_pairs([(i * 20, 10) for i in range(768)])
+        cuts = dual_bounded_cuts(mem, fil, 64)
+        assert len(cuts) - 1 == 12  # 768/64, the paper's tile count
+
+    def test_mem_denser_than_file(self):
+        """FLASH shape: tiny memory pieces drive the operation count."""
+        mem = Regions.from_pairs([(i * 16, 8) for i in range(1024)])
+        fil = contiguous_regions(8 * 1024)
+        cuts = dual_bounded_cuts(mem, fil, 64)
+        assert len(cuts) - 1 == 1024 // 64
+
+    def test_both_sides_bounded(self):
+        mem = Regions.from_pairs([(i * 10, 5) for i in range(300)])
+        fil = Regions.from_pairs([(i * 7, 3) for i in range(500)])
+        cuts = dual_bounded_cuts(mem, fil, 64)
+        for a, b in zip(cuts[:-1], cuts[1:]):
+            assert mem.slice_stream(int(a), int(b)).count <= 64 + 1
+            assert fil.slice_stream(int(a), int(b)).count <= 64 + 1
+
+    def test_no_cuts_when_small(self):
+        mem = contiguous_regions(100)
+        fil = Regions.from_pairs([(0, 50), (60, 50)])
+        cuts = dual_bounded_cuts(mem, fil, 64)
+        assert list(cuts) == [0, 100]
+
+    @given(sorted_region_lists(max_regions=30), st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_cut_invariants(self, pairs, limit):
+        fil = Regions.from_pairs(pairs)
+        if not fil.count:
+            return
+        mem = contiguous_regions(fil.total_bytes)
+        cuts = dual_bounded_cuts(mem, fil, limit)
+        assert cuts[0] == 0
+        assert cuts[-1] == fil.total_bytes
+        assert (np.diff(cuts) > 0).all()
+        for a, b in zip(cuts[:-1], cuts[1:]):
+            piece = fil.slice_stream(int(a), int(b))
+            assert piece.count <= limit + 1
+        # reassembling the pieces reproduces the original byte set
+        parts = [
+            fil.slice_stream(int(a), int(b))
+            for a, b in zip(cuts[:-1], cuts[1:])
+        ]
+        assert Regions.concat(parts).coalesce() == fil.coalesce()
+
+
+class TestOpCounts:
+    """Operation counts for the paper's workload shapes (E7)."""
+
+    def test_factor_of_exactly_64(self):
+        # 640 equal file regions, contiguous memory -> exactly 10 ops
+        fil = Regions.from_pairs([(i * 10, 4) for i in range(640)])
+        mem = contiguous_regions(fil.total_bytes)
+        cuts = dual_bounded_cuts(mem, fil, 64)
+        assert len(cuts) - 1 == 10
+
+    def test_remainder_rounds_up(self):
+        fil = Regions.from_pairs([(i * 10, 4) for i in range(65)])
+        mem = contiguous_regions(fil.total_bytes)
+        cuts = dual_bounded_cuts(mem, fil, 64)
+        assert len(cuts) - 1 == 2

@@ -1,0 +1,254 @@
+"""Cross-method correctness: every method must produce identical bytes.
+
+The file system and MPI-IO stack move real data here; each scenario
+writes with one method and reads back with every other method,
+asserting bit-identical results — the strongest equivalence check the
+reproduction has.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datatypes import (
+    BYTE,
+    DOUBLE,
+    INT,
+    contiguous,
+    hvector,
+    struct,
+    subarray,
+    vector,
+)
+from repro.mpiio import File, Hints, SimMPI
+from repro.pvfs import PVFS, PVFSConfig
+from repro.simulation import Environment
+
+READ_METHODS = ["posix", "data_sieving", "list_io", "datatype_io"]
+WRITE_METHODS = ["posix", "list_io", "datatype_io"]  # sieving needs locks
+
+
+def run_ranks(n, rank_main, ppn=2, **cfg):
+    env = Environment()
+    defaults = dict(n_servers=4, strip_size=256)
+    defaults.update(cfg)
+    fs = PVFS(env, config=PVFSConfig(**defaults))
+    mpi = SimMPI(fs, n, procs_per_node=ppn)
+    return fs, mpi.run(rank_main)
+
+
+class Scenario:
+    """A decomposition: per-rank filetype/memtype over a shared file."""
+
+    name = "base"
+    n_ranks = 4
+
+    def filetype(self, rank, size):
+        raise NotImplementedError
+
+    def memtype(self, rank):
+        raise NotImplementedError
+
+    def payload(self, rank):
+        mt = self.memtype(rank)
+        rng = np.random.default_rng(100 + rank)
+        buf = rng.integers(0, 255, max(mt.true_ub, 1), dtype=np.uint8)
+        return buf
+
+
+class RowBlocks(Scenario):
+    """2-D array, contiguous row blocks per rank, contiguous memory."""
+
+    name = "rows"
+    N = 32
+
+    def filetype(self, rank, size):
+        rows = self.N // size
+        return subarray(
+            [self.N, self.N], [rows, self.N], [rank * rows, 0], BYTE
+        )
+
+    def memtype(self, rank):
+        return contiguous(self.N * self.N // self.n_ranks, BYTE)
+
+
+class ColumnBlocks(Scenario):
+    """Column blocks: strided file access, contiguous memory."""
+
+    name = "cols"
+    N = 32
+
+    def filetype(self, rank, size):
+        cols = self.N // size
+        return subarray(
+            [self.N, self.N], [self.N, cols], [0, rank * cols], BYTE
+        )
+
+    def memtype(self, rank):
+        return contiguous(self.N * self.N // self.n_ranks, BYTE)
+
+
+class AoSToSoA(Scenario):
+    """FLASH-like: strided memory AND strided file."""
+
+    name = "aos-soa"
+    NV = 3
+    NC = 20
+
+    def filetype(self, rank, size):
+        return vector(self.NV, self.NC, size * self.NC, DOUBLE)
+
+    def memtype(self, rank):
+        fields, disps = [], []
+        for v in range(self.NV):
+            fields.append(hvector(self.NC, 1, self.NV * 8, DOUBLE))
+            disps.append(v * 8)
+        return struct([1] * self.NV, disps, fields)
+
+    def file_displacement(self, rank):
+        return rank * self.NC * 8
+
+
+SCENARIOS = [RowBlocks(), ColumnBlocks(), AoSToSoA()]
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS, ids=lambda s: s.name)
+@pytest.mark.parametrize("write_method", WRITE_METHODS)
+def test_write_then_read_all_methods(scenario, write_method):
+    n = scenario.n_ranks
+
+    def rank_main(ctx):
+        f = yield from File.open(ctx, "/x", Hints())
+        disp = getattr(scenario, "file_displacement", lambda r: 0)(ctx.rank)
+        ft = scenario.filetype(ctx.rank, ctx.size)
+        mt = scenario.memtype(ctx.rank)
+        buf = scenario.payload(ctx.rank)
+        f.set_view(disp, BYTE, ft)
+        yield from f.write_at(0, mt, 1, buf, method=write_method)
+        yield from ctx.comm.barrier()
+        results = {}
+        for rm in READ_METHODS:
+            out = np.zeros_like(buf)
+            yield from f.read_at(0, mt, 1, out, method=rm)
+            regions = mt.flatten()
+            results[rm] = np.array_equal(
+                regions.gather(out), regions.gather(buf)
+            )
+        return results
+
+    _, results = run_ranks(n, rank_main)
+    for rank_result in results:
+        for method, ok in rank_result.items():
+            assert ok, f"read method {method} mismatched"
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS, ids=lambda s: s.name)
+def test_collective_write_read(scenario):
+    n = scenario.n_ranks
+
+    def rank_main(ctx):
+        f = yield from File.open(ctx, "/x", Hints())
+        disp = getattr(scenario, "file_displacement", lambda r: 0)(ctx.rank)
+        ft = scenario.filetype(ctx.rank, ctx.size)
+        mt = scenario.memtype(ctx.rank)
+        buf = scenario.payload(ctx.rank)
+        f.set_view(disp, BYTE, ft)
+        yield from f.write_at_all(0, mt, 1, buf, method="two_phase")
+        out = np.zeros_like(buf)
+        yield from f.read_at_all(0, mt, 1, out, method="two_phase")
+        regions = mt.flatten()
+        return np.array_equal(regions.gather(out), regions.gather(buf))
+
+    _, results = run_ranks(n, rank_main)
+    assert all(results)
+
+
+def test_two_phase_write_posix_readback():
+    """Two-phase writes must land at exactly the right file bytes."""
+    N = 24
+
+    def rank_main(ctx):
+        f = yield from File.open(ctx, "/grid")
+        cols = N // ctx.size
+        ft = subarray([N, N], [N, cols], [0, ctx.rank * cols], BYTE)
+        f.set_view(0, BYTE, ft)
+        buf = np.full(N * cols, 10 + ctx.rank, dtype=np.uint8)
+        yield from f.write_at_all(
+            0, contiguous(N * cols, BYTE), 1, buf, method="two_phase"
+        )
+        return True
+
+    fs, _ = run_ranks(4, rank_main)
+    handle = fs.metadata.files["/grid"].handle
+    got = fs.read_back(handle, 0, N * N).reshape(N, N)
+    for rank in range(4):
+        cols = N // 4
+        block = got[:, rank * cols : (rank + 1) * cols]
+        assert (block == 10 + rank).all(), rank
+
+
+def test_collective_call_with_independent_method_synchronizes():
+    def rank_main(ctx):
+        f = yield from File.open(ctx, "/y")
+        buf = np.full(16, ctx.rank, dtype=np.uint8)
+        f.set_view(ctx.rank * 16, BYTE, contiguous(16, BYTE))
+        yield from f.write_at_all(
+            0, contiguous(16, BYTE), 1, buf, method="datatype_io"
+        )
+        return True
+
+    fs, results = run_ranks(3, rank_main)
+    assert all(results)
+    handle = fs.metadata.files["/y"].handle
+    got = fs.read_back(handle, 0, 48)
+    assert got.reshape(3, 16).std(axis=1).sum() == 0
+
+
+def test_collective_method_via_independent_call_rejected():
+    def rank_main(ctx):
+        f = yield from File.open(ctx, "/z")
+        yield from f.write_at(
+            0, contiguous(4, BYTE), 1, None, method="two_phase"
+        )
+
+    env = Environment()
+    fs = PVFS(env, n_servers=2)
+    mpi = SimMPI(fs, 1)
+    with pytest.raises(ValueError, match="collective"):
+        mpi.run(rank_main)
+
+
+def test_counters_desired_and_ops():
+    def rank_main(ctx):
+        f = yield from File.open(ctx, "/c")
+        t = vector(10, 1, 2, INT)
+        f.set_view(0, BYTE, t)
+        yield from f.write_at(0, contiguous(40, BYTE), 1, None, method="posix")
+        return (f.counters.desired_bytes, f.counters.io_ops)
+
+    _, results = run_ranks(1, rank_main)
+    desired, ops = results[0]
+    assert desired == 40
+    assert ops == 10  # one per noncontiguous file region
+
+
+def test_phantom_and_real_identical_ops():
+    """Phantom runs must charge exactly the same operation counts."""
+
+    def make_main(buf_factory):
+        def rank_main(ctx):
+            f = yield from File.open(ctx, "/p")
+            t = vector(16, 1, 3, INT)
+            f.set_view(0, BYTE, t)
+            buf = buf_factory()
+            yield from f.write_at(
+                0, contiguous(64, BYTE), 1, buf, method="list_io"
+            )
+            return (f.counters.io_ops, f.counters.accessed_bytes)
+
+        return rank_main
+
+    _, phantom = run_ranks(1, make_main(lambda: None))
+    _, real = run_ranks(
+        1, make_main(lambda: np.arange(64, dtype=np.uint8))
+    )
+    assert phantom == real

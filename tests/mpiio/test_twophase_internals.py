@@ -1,0 +1,188 @@
+"""Two-phase internals: domains, rounds, hole handling, accounting."""
+
+import numpy as np
+import pytest
+
+from repro.datatypes import BYTE, contiguous, hvector, subarray
+from repro.mpiio import File, Hints, SimMPI
+from repro.pvfs import PVFS, PVFSConfig
+from repro.simulation import Environment
+
+
+def run_ranks(n, rank_main, hints=None, **cfg):
+    env = Environment()
+    defaults = dict(n_servers=4, strip_size=256)
+    defaults.update(cfg)
+    fs = PVFS(env, config=PVFSConfig(**defaults))
+    mpi = SimMPI(fs, n)
+    return fs, mpi.run(rank_main)
+
+
+class TestRounds:
+    def test_ops_match_buffer_rounds(self):
+        """FS ops per aggregator = ceil(domain / cb_buffer)."""
+        total = 64 * 1024  # 16 KiB per rank x 4 ranks
+        hints = Hints(cb_buffer_size=8 * 1024)
+
+        def rank_main(ctx):
+            f = yield from File.open(ctx, "/r", hints)
+            per = total // ctx.size
+            f.set_view(ctx.rank * per, BYTE, contiguous(per, BYTE))
+            yield from f.write_at_all(0, contiguous(per, BYTE), 1, None)
+            return f.counters.io_ops
+
+        _, ops = run_ranks(4, rank_main)
+        # domain = 16 KiB, buffer = 8 KiB -> 2 write ops per aggregator
+        assert ops == [2, 2, 2, 2]
+
+    def test_cb_nodes_limits_aggregators(self):
+        hints = Hints(cb_buffer_size=1 << 20, cb_nodes=2)
+
+        def rank_main(ctx):
+            f = yield from File.open(ctx, "/r", hints)
+            per = 4096
+            f.set_view(ctx.rank * per, BYTE, contiguous(per, BYTE))
+            yield from f.write_at_all(0, contiguous(per, BYTE), 1, None)
+            return f.counters.io_ops
+
+        _, ops = run_ranks(4, rank_main)
+        # only ranks 0 and 1 aggregate (and thus do FS ops)
+        assert ops[0] > 0 and ops[1] > 0
+        assert ops[2] == 0 and ops[3] == 0
+
+    def test_dense_write_no_read_modify_write(self):
+        """When ranks cover the domain densely, no RMW reads happen."""
+
+        def rank_main(ctx):
+            f = yield from File.open(ctx, "/dense")
+            per = 1024
+            f.set_view(ctx.rank * per, BYTE, contiguous(per, BYTE))
+            yield from f.write_at_all(0, contiguous(per, BYTE), 1, None)
+            return f.counters
+
+        fs, counters = run_ranks(4, rank_main)
+        stats = fs.total_server_stats()
+        assert stats["bytes_read"] == 0  # pure writes
+
+    def test_sparse_write_triggers_rmw(self):
+        """Holes inside an aggregator's round trigger a read first."""
+
+        def rank_main(ctx):
+            f = yield from File.open(ctx, "/sparse")
+            # every rank writes 8 bytes every 64: union has holes
+            ft = hvector(16, 8, 64 * ctx.size, BYTE)
+            f.set_view(ctx.rank * 64, BYTE, ft)
+            yield from f.write_at_all(0, contiguous(128, BYTE), 1, None)
+            return f.counters
+
+        fs, counters = run_ranks(2, rank_main)
+        stats = fs.total_server_stats()
+        assert stats["bytes_read"] > 0  # RMW happened
+
+    def test_sparse_rmw_preserves_existing_bytes(self):
+        """The read-modify-write must not clobber old file contents."""
+
+        def rank_main(ctx):
+            f = yield from File.open(ctx, "/keep")
+            ft = hvector(4, 4, 16 * ctx.size, BYTE)
+            f.set_view(ctx.rank * 16, BYTE, ft)
+            buf = np.full(16, 100 + ctx.rank, dtype=np.uint8)
+            yield from f.write_at_all(0, contiguous(16, BYTE), 1, buf)
+            return True
+
+        env = Environment()
+        fs = PVFS(env, config=PVFSConfig(n_servers=2, strip_size=32))
+        meta = fs.metadata.create_now("/keep")
+        old = np.full(128, 7, dtype=np.uint8)
+        fs.write_direct(meta.handle, 0, old)
+        mpi = SimMPI(fs, 2)
+        mpi.run(rank_main)
+        got = fs.read_back(meta.handle, 0, 128)
+        # written positions: rank r writes 4B at r*16 + k*32
+        expect = old.copy()
+        for r in range(2):
+            for k in range(4):
+                expect[r * 16 + k * 32 : r * 16 + k * 32 + 4] = 100 + r
+        assert np.array_equal(got, expect)
+
+
+class TestAccounting:
+    def test_resent_excludes_self(self):
+        """A single rank collective resends nothing."""
+
+        def rank_main(ctx):
+            f = yield from File.open(ctx, "/solo")
+            f.set_view(0, BYTE, contiguous(4096, BYTE))
+            yield from f.write_at_all(0, contiguous(4096, BYTE), 1, None)
+            return f.counters.resent_bytes
+
+        _, resent = run_ranks(1, rank_main)
+        assert resent == [0]
+
+    def test_resent_symmetric_read_write(self):
+        """Interleaved pattern: read and write resend the same volume."""
+
+        def make(is_write):
+            def rank_main(ctx):
+                f = yield from File.open(ctx, "/sym")
+                ft = hvector(32, 16, 16 * ctx.size, BYTE)
+                f.set_view(ctx.rank * 16, BYTE, ft)
+                mt = contiguous(512, BYTE)
+                if is_write:
+                    yield from f.write_at_all(0, mt, 1, None)
+                else:
+                    yield from f.read_at_all(0, mt, 1, None)
+                return f.counters.resent_bytes
+
+            return rank_main
+
+        _, w = run_ranks(4, make(True))
+        _, r = run_ranks(4, make(False))
+        assert sum(w) == sum(r) > 0
+
+    def test_aggregator_accessed_is_domain_not_desired(self):
+        def rank_main(ctx):
+            f = yield from File.open(ctx, "/dom")
+            # columns: each rank's data spreads over the whole file
+            N = 64
+            cols = N // ctx.size
+            ft = subarray([N, N], [N, cols], [0, ctx.rank * cols], BYTE)
+            f.set_view(0, BYTE, ft)
+            yield from f.write_at_all(
+                0, contiguous(N * cols, BYTE), 1, None
+            )
+            return (f.counters.desired_bytes, f.counters.accessed_bytes)
+
+        _, results = run_ranks(4, rank_main)
+        for desired, accessed in results:
+            # all ranks aggregate an equal contiguous domain
+            assert accessed == pytest.approx(desired, rel=0.05)
+
+    def test_empty_participation(self):
+        """Ranks with no data still complete the collective."""
+
+        def rank_main(ctx):
+            f = yield from File.open(ctx, "/empty")
+            if ctx.rank == 0:
+                f.set_view(0, BYTE, contiguous(1024, BYTE))
+                yield from f.write_at_all(
+                    0, contiguous(1024, BYTE), 1, None
+                )
+            else:
+                f.set_view(0, BYTE, contiguous(1024, BYTE))
+                yield from f.write_at_all(
+                    0, contiguous(0, BYTE), 0, None
+                )
+            return True
+
+        _, results = run_ranks(3, rank_main)
+        assert all(results)
+
+    def test_all_empty_collective(self):
+        def rank_main(ctx):
+            f = yield from File.open(ctx, "/void")
+            yield from f.write_at_all(0, contiguous(0, BYTE), 0, None)
+            return True
+
+        _, results = run_ranks(2, rank_main)
+        assert all(results)

@@ -1,0 +1,157 @@
+"""Round-robin striping arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pvfs.distribution import Distribution
+from repro.regions import Regions
+
+from ..conftest import sorted_region_lists
+
+
+class TestScalarMaps:
+    def test_server_of(self):
+        d = Distribution(4, 10)
+        assert [d.server_of(x) for x in (0, 9, 10, 39, 40)] == [0, 0, 1, 3, 0]
+
+    def test_logical_physical_roundtrip(self):
+        d = Distribution(4, 10)
+        for x in [0, 1, 9, 10, 25, 39, 40, 99, 1234]:
+            s = d.server_of(x)
+            p = d.logical_to_physical(x)
+            assert d.physical_to_logical(s, p) == x
+
+    def test_paper_layout(self):
+        """16 servers, 64 KiB strips → 1 MiB stripe (§4.1)."""
+        d = Distribution(16, 65536)
+        assert d.server_of(65536 * 16) == 0
+        assert d.logical_to_physical(65536 * 16) == 65536
+
+    def test_logical_size_from_local(self):
+        d = Distribution(4, 10)
+        assert d.logical_size_from_local(0, 0) == 0
+        # one byte on server 0 at physical 0 -> logical size 1
+        assert d.logical_size_from_local(0, 1) == 1
+        # full first strip of server 2 -> logical size ends at strip 2
+        assert d.logical_size_from_local(2, 10) == 30
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            Distribution(0, 10)
+        with pytest.raises(ValueError):
+            Distribution(4, 0)
+
+
+class TestSplit:
+    def test_single_strip_region(self):
+        d = Distribution(4, 10)
+        split = d.split(Regions.single(12, 5))
+        assert list(split) == [1]
+        assert split[1].regions.to_pairs() == [(2, 5)]
+        assert split[1].stream_pos.tolist() == [0]
+
+    def test_strip_crossing(self):
+        d = Distribution(4, 10)
+        split = d.split(Regions.single(5, 22))  # bytes 5..27 over strips 0,1,2
+        assert sorted(split) == [0, 1, 2]
+        assert split[0].regions.to_pairs() == [(5, 5)]
+        assert split[1].regions.to_pairs() == [(0, 10)]
+        assert split[2].regions.to_pairs() == [(0, 7)]
+        assert split[0].stream_pos.tolist() == [0]
+        assert split[1].stream_pos.tolist() == [5]
+        assert split[2].stream_pos.tolist() == [15]
+
+    def test_wraparound_physical_offsets(self):
+        d = Distribution(2, 10)
+        # strips: 0->s0, 1->s1, 2->s0(phys 10..20), ...
+        split = d.split(Regions.single(20, 10))
+        assert split[0].regions.to_pairs() == [(10, 10)]
+
+    def test_stream_coverage_complete(self):
+        d = Distribution(4, 7)
+        r = Regions.from_pairs([(3, 20), (50, 13), (30, 5)])
+        split = d.split(r)
+        cover = np.zeros(r.total_bytes, dtype=int)
+        for sp in split.values():
+            for pos, ln in zip(sp.stream_pos, sp.regions.lengths):
+                cover[pos : pos + ln] += 1
+        assert (cover == 1).all()
+
+    def test_negative_offset_rejected(self):
+        d = Distribution(4, 10)
+        with pytest.raises(ValueError):
+            d.split(Regions.single(-5, 10))
+
+    def test_empty(self):
+        d = Distribution(4, 10)
+        assert d.split(Regions.empty()) == {}
+
+    def test_server_regions_matches_split(self):
+        d = Distribution(5, 8)
+        r = Regions.from_pairs([(0, 100), (200, 31), (150, 3)])
+        split = d.split(r)
+        for s in range(5):
+            share = d.server_regions(r, s)
+            if s in split:
+                assert share.regions == split[s].regions
+                assert np.array_equal(share.stream_pos, split[s].stream_pos)
+            else:
+                assert share.regions.count == 0
+
+    @given(sorted_region_lists(), st.integers(1, 8), st.integers(1, 64))
+    @settings(max_examples=100, deadline=None)
+    def test_split_properties(self, pairs, n_servers, strip):
+        d = Distribution(n_servers, strip)
+        r = Regions.from_pairs(pairs)
+        split = d.split(r)
+        # total bytes preserved
+        assert sum(sp.nbytes for sp in split.values()) == r.total_bytes
+        # every piece maps back into the original byte set
+        orig = r.normalized()
+        for s, sp in split.items():
+            for off, ln in sp.regions:
+                lo = d.physical_to_logical(s, off)
+                assert orig.intersect(
+                    Regions.single(lo, ln)
+                ).total_bytes == ln
+        # per-server view agrees with full split
+        for s in range(n_servers):
+            share = d.server_regions(r, s)
+            if s in split:
+                assert share.regions == split[s].regions
+            else:
+                assert share.regions.count == 0
+
+    @given(sorted_region_lists(), st.integers(1, 8), st.integers(1, 64))
+    @settings(max_examples=60, deadline=None)
+    def test_gather_scatter_through_split(self, pairs, n_servers, strip):
+        """Writing via the split then reading back returns the stream."""
+        r = Regions.from_pairs(pairs)
+        if not r.count:
+            return
+        d = Distribution(n_servers, strip)
+        rng = np.random.default_rng(0)
+        stream = rng.integers(0, 255, r.total_bytes, dtype=np.uint8)
+        # simulate per-server stores
+        stores = {s: {} for s in range(n_servers)}
+        split = d.split(r)
+        for s, sp in split.items():
+            payload = Regions(
+                sp.stream_pos, sp.regions.lengths, _trusted=True
+            ).gather(stream)
+            pos = 0
+            for off, ln in sp.regions:
+                for i in range(ln):
+                    stores[s][off + i] = payload[pos]
+                    pos += 1
+        # read back
+        out = np.zeros_like(stream)
+        for s, sp in split.items():
+            vals = []
+            for off, ln in sp.regions:
+                vals.extend(stores[s][off + i] for i in range(ln))
+            Regions(
+                sp.stream_pos, sp.regions.lengths, _trusted=True
+            ).scatter(out, np.array(vals, dtype=np.uint8))
+        assert np.array_equal(out, stream)

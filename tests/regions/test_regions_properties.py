@@ -1,0 +1,131 @@
+"""Property-based tests of region-set invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.regions import Regions
+
+from ..conftest import region_lists, sorted_region_lists
+
+
+class TestStreamInvariants:
+    @given(region_lists(), st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_slice_stream_returns_exact_bytes(self, pairs, data):
+        r = Regions.from_pairs(pairs)
+        total = r.total_bytes
+        s0 = data.draw(st.integers(0, total))
+        s1 = data.draw(st.integers(s0, total))
+        piece = r.slice_stream(s0, s1)
+        assert piece.total_bytes == s1 - s0
+
+    @given(region_lists(), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_slice_stream_matches_gather(self, pairs, data):
+        """Gathering the slice equals slicing the gathered stream."""
+        r = Regions.from_pairs(pairs)
+        total = r.total_bytes
+        if total == 0:
+            return
+        s0 = data.draw(st.integers(0, total))
+        s1 = data.draw(st.integers(s0, total))
+        _, hi = r.extent()
+        rng = np.random.default_rng(0)
+        buf = rng.integers(0, 255, max(hi, 1), dtype=np.uint8)
+        assert np.array_equal(
+            r.slice_stream(s0, s1).gather(buf), r.gather(buf)[s0:s1]
+        )
+
+    @given(region_lists(), st.lists(st.integers(0, 10_000), max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_split_at_stream_preserves_bytes(self, pairs, cuts):
+        r = Regions.from_pairs(pairs)
+        out = r.split_at_stream(cuts)
+        assert out.total_bytes == r.total_bytes
+        # coalescing the split recovers the original region structure
+        assert out.coalesce() == r.coalesce()
+
+    @given(region_lists(), st.integers(1, 7))
+    @settings(max_examples=80, deadline=None)
+    def test_split_chunks_partition(self, pairs, k):
+        r = Regions.from_pairs(pairs)
+        chunks = list(r.split_chunks(k))
+        assert all(c.count <= k for c in chunks)
+        assert Regions.concat(chunks) == r
+
+    @given(region_lists(), st.integers(1, 50))
+    @settings(max_examples=80, deadline=None)
+    def test_split_stream_partition(self, pairs, max_bytes):
+        r = Regions.from_pairs(pairs)
+        chunks = list(r.split_stream(max_bytes))
+        assert all(c.total_bytes <= max_bytes for c in chunks)
+        assert sum(c.total_bytes for c in chunks) == r.total_bytes
+
+    @given(region_lists())
+    @settings(max_examples=100, deadline=None)
+    def test_clip_with_stream_consistent(self, pairs):
+        r = Regions.from_pairs(pairs)
+        lo, hi = r.extent()
+        mid = (lo + hi) // 2
+        clipped, spos = r.clip_with_stream(lo, mid)
+        assert clipped == r.clip(lo, mid)
+        assert spos.size == clipped.count
+        if clipped.count:
+            assert (spos >= 0).all()
+            assert (spos + clipped.lengths <= r.total_bytes).all()
+
+
+class TestSetAlgebra:
+    @given(region_lists())
+    @settings(max_examples=100, deadline=None)
+    def test_normalized_is_canonical(self, pairs):
+        r = Regions.from_pairs(pairs)
+        n = r.normalized()
+        assert n.is_sorted
+        if n.count > 1:
+            # strictly separated (no touching or overlapping runs)
+            ends = n.offsets + n.lengths
+            assert (n.offsets[1:] > ends[:-1]).all()
+        assert n.normalized() == n
+
+    @given(region_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_normalized_preserves_byte_set(self, pairs):
+        r = Regions.from_pairs(pairs)
+        lo, hi = r.extent()
+        width = max(hi, 1)
+        mask = np.zeros(width, dtype=bool)
+        for o, l in r:
+            mask[o : o + l] = True
+        n = r.normalized()
+        mask2 = np.zeros(width, dtype=bool)
+        for o, l in n:
+            mask2[o : o + l] = True
+        assert np.array_equal(mask, mask2)
+
+    @given(sorted_region_lists(), sorted_region_lists())
+    @settings(max_examples=80, deadline=None)
+    def test_intersect_commutative(self, a_pairs, b_pairs):
+        a = Regions.from_pairs(a_pairs)
+        b = Regions.from_pairs(b_pairs)
+        assert a.intersect(b) == b.intersect(a)
+        assert a.overlap_bytes(b) == b.overlap_bytes(a)
+
+    @given(sorted_region_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_intersect_idempotent(self, pairs):
+        a = Regions.from_pairs(pairs)
+        assert a.intersect(a) == a.normalized()
+
+    @given(region_lists(), st.integers(-100, 100))
+    @settings(max_examples=80, deadline=None)
+    def test_shift_roundtrip(self, pairs, delta):
+        r = Regions.from_pairs(pairs)
+        assert r.shift(delta).shift(-delta) == r
+
+    @given(region_lists(), st.integers(0, 5), st.integers(0, 2000))
+    @settings(max_examples=80, deadline=None)
+    def test_tile_total_bytes(self, pairs, count, stride):
+        r = Regions.from_pairs(pairs)
+        t = r.tile(count, stride)
+        assert t.total_bytes == count * r.total_bytes

@@ -1,0 +1,86 @@
+"""Network summaries and bottleneck attribution."""
+
+import pytest
+
+from repro.simulation import (
+    CostModel,
+    Environment,
+    Network,
+    summarize_network,
+)
+
+
+def test_summary_counts():
+    env = Environment()
+    net = Network(env, CostModel().scaled(per_message_cpu=0, latency=0))
+    a, b = net.node("cn0"), net.node("ios0")
+    ma, mb = net.mailbox(a, "a"), net.mailbox(b, "b")
+
+    def sender():
+        yield from net.send(ma, mb, 125_000)
+
+    def receiver():
+        yield mb.get()
+
+    env.process(sender())
+    p = env.process(receiver())
+    env.run(p)
+    s = summarize_network(net, env.now)
+    assert s.total_bytes == 125_000
+    assert s.total_messages == 1
+    assert len(s.nodes) == 2
+    cn = s.group("cn")[0]
+    assert cn.bytes_sent == 125_000
+    assert cn.tx_utilization(s.elapsed) == pytest.approx(1.0)
+    assert s.peak_utilization("ios", "rx") == pytest.approx(1.0)
+    assert s.mean_utilization("cn", "rx") == 0.0
+
+
+def test_bottleneck_attribution():
+    env = Environment()
+    net = Network(env, CostModel().scaled(per_message_cpu=0, latency=0))
+    servers = [net.node(f"ios{i}") for i in range(2)]
+    client = net.node("cn0")
+    mc = net.mailbox(client, "c")
+    mss = [net.mailbox(s, f"s{i}") for i, s in enumerate(servers)]
+
+    def sender(ms):
+        # both servers send to one client: client rx saturates
+        yield from net.send(ms, mc, 1_000_000, pace=False)
+
+    def recv(n):
+        for _ in range(n):
+            yield mc.get()
+
+    for ms in mss:
+        env.process(sender(ms))
+    env.run(env.process(recv(2)))
+    s = summarize_network(net, env.now)
+    assert s.bottleneck() == "client-rx"
+
+
+def test_bottleneck_idle():
+    env = Environment()
+    net = Network(env, CostModel())
+    net.node("cn0")
+    env.now = 0.0
+    s = summarize_network(net, 1.0)
+    assert s.bottleneck() == "cpu-or-latency"
+
+
+def test_empty_group():
+    env = Environment()
+    net = Network(env, CostModel())
+    s = summarize_network(net, 1.0)
+    assert s.group("xyz") == []
+    assert s.peak_utilization("xyz") == 0.0
+
+
+def test_runner_populates_summary():
+    from repro.bench import TileWorkload, run_workload
+
+    r = run_workload(TileWorkload.reduced(frames=1), "datatype_io")
+    assert r.network is not None
+    assert r.network.total_bytes > 0
+    assert 0 <= r.network.mean_utilization("ios", "tx") <= 1
+    assert isinstance(r.network.bottleneck(), str)
