@@ -1,0 +1,72 @@
+"""Machine-readable benchmark baseline (``BENCH_pipeline.json``).
+
+``repro-bench json`` (or ``python -m repro.bench json``) runs the three
+paper benchmarks at reduced scale — the fig8 tile reader, the fig10
+3-D block read/write and the fig12 FLASH write — across every access
+method and emits one JSON document with per-method aggregate MB/s and
+the server pipeline's per-stage second breakdown.  Subsequent PRs diff
+against this file to prove a hot path got faster (or at least did not
+regress) without re-deriving paper-scale runs.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Optional, Sequence
+
+from .characteristics import METHOD_ORDER
+from .runner import run_workload
+from .workloads import Block3DWorkload, FlashWorkload, TileWorkload
+
+__all__ = ["collect_pipeline_baseline", "write_pipeline_baseline"]
+
+#: Schema version of the emitted document; bump on layout changes.
+SCHEMA = 1
+
+
+def _bench_cases():
+    """(name, workload) pairs at reduced scale, one per paper figure."""
+    return [
+        ("fig8_tile_read", TileWorkload.reduced(frames=2)),
+        ("fig10_block3d_read", Block3DWorkload.reduced(2, is_write=False)),
+        ("fig10_block3d_write", Block3DWorkload.reduced(2, is_write=True)),
+        ("fig12_flash_write", FlashWorkload.reduced(2)),
+    ]
+
+
+def collect_pipeline_baseline(
+    methods: Sequence[str] = METHOD_ORDER,
+) -> dict:
+    """Run the reduced benchmark matrix and collect results as a dict."""
+    doc: dict = {"schema": SCHEMA, "scale": "reduced", "benchmarks": {}}
+    for name, wl in _bench_cases():
+        per_method: dict = {}
+        for method in methods:
+            r = run_workload(wl, method, phantom=True)
+            if not r.supported:
+                per_method[method] = {"supported": False, "note": r.note}
+                continue
+            per_method[method] = {
+                "supported": True,
+                "mbps": round(r.bandwidth_mbps, 3),
+                "elapsed_s": r.elapsed,
+                "n_clients": r.n_clients,
+                "io_ops_per_client": r.io_ops,
+                "server_stages": r.pipeline.total.as_dict(),
+            }
+        doc["benchmarks"][name] = per_method
+    return doc
+
+
+def write_pipeline_baseline(
+    out_dir: Optional[pathlib.Path] = None,
+    methods: Sequence[str] = METHOD_ORDER,
+) -> pathlib.Path:
+    """Write ``BENCH_pipeline.json`` into ``out_dir`` (default: cwd)."""
+    doc = collect_pipeline_baseline(methods)
+    out_dir = out_dir or pathlib.Path(".")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / "BENCH_pipeline.json"
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path

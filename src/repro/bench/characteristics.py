@@ -10,8 +10,6 @@ matching the paper's numbers is a genuine check of the reproduction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
-
 from .runner import RunResult, run_workload
 from .workloads import Block3DWorkload, FlashWorkload, TileWorkload
 

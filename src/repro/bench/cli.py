@@ -102,6 +102,14 @@ def cmd_fig12(args, out):
     _emit(text, out, "fig12.txt")
 
 
+def cmd_json(args, out):
+    """Machine-readable reduced-scale baseline (BENCH_pipeline.json)."""
+    from .baseline import write_pipeline_baseline
+
+    path = write_pipeline_baseline(out)
+    print(f"[saved {path}]", file=sys.stderr)
+
+
 def cmd_validate(args, out):
     """Cross-method write x read validation on real data."""
     from .validate import validate_workload
@@ -116,6 +124,7 @@ def cmd_validate(args, out):
 
 
 COMMANDS = {
+    "json": cmd_json,
     "validate": cmd_validate,
     "table1": cmd_table1,
     "table2": cmd_table2,

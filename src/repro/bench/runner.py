@@ -11,7 +11,7 @@ from ..mpiio import File, Hints, MPIIOCounters, SimMPI
 from ..pvfs import PVFS, PVFSConfig
 from ..pvfs.errors import LockUnsupported
 from ..simulation import CostModel, Environment, summarize_network
-from ..simulation.stats import NetworkSummary
+from ..simulation.stats import NetworkSummary, ServerPipelineSummary
 
 __all__ = ["RunResult", "run_workload"]
 
@@ -34,6 +34,7 @@ class RunResult:
     request_desc_bytes: float = 0  #: per client (mean)
     server_stats: dict = field(default_factory=dict)
     network: Optional[NetworkSummary] = None
+    pipeline: Optional[ServerPipelineSummary] = None  #: per-stage server time
     note: str = ""
 
     @property
@@ -168,6 +169,7 @@ def run_workload(
     )
     result.server_stats = fs.total_server_stats()
     result.network = summarize_network(fs.net, result.elapsed)
+    result.pipeline = fs.pipeline_summary()
     return result
 
 

@@ -22,8 +22,6 @@ keep the representation concise and the processing fast):
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..datatypes.base import Datatype
 from .loops import Dataloop
 

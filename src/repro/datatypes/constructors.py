@@ -12,7 +12,7 @@ from typing import Sequence
 import numpy as np
 
 from ..regions import Regions
-from .base import Datatype, PrimitiveType
+from .base import Datatype
 
 __all__ = [
     "contiguous",

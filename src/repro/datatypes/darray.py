@@ -22,8 +22,6 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
-
 from ..regions import Regions
 from .base import Datatype
 from .constructors import hindexed, resized

@@ -8,10 +8,13 @@ Components, mirroring PVFS 1.5.x:
 * a **metadata server** (:mod:`~repro.pvfs.metadata`) owning the
   namespace and per-file striping parameters; clients contact it only
   at open/stat time;
-* **I/O servers** (:mod:`~repro.pvfs.server`), single-threaded request
-  loops that turn incoming access descriptions into PVFS *job*/*access*
-  structures (:mod:`~repro.pvfs.jobs`) and move data against their
-  local :class:`~repro.storage.BlockStore`;
+* **I/O servers** (:mod:`~repro.pvfs.server`), daemons driving a staged
+  request pipeline (decode → plan → storage → respond,
+  :mod:`~repro.pvfs.pipeline`) that turns incoming access descriptions
+  into PVFS *job*/*access* structures (:mod:`~repro.pvfs.jobs`) and
+  moves data against their local :class:`~repro.storage.BlockStore`;
+  single-threaded by default (the paper's iod), multi-threaded with a
+  bounded admission queue via ``PVFSConfig.server_threads``;
 * a **client library** (:mod:`~repro.pvfs.client`) supporting the three
   access interfaces the paper compares at the file-system level:
   contiguous (POSIX-style) I/O, **list I/O** (bounded offset–length
@@ -30,8 +33,14 @@ from .config import PVFSConfig
 from .system import PVFS
 from .client import PVFSClient, FileHandle
 from .distribution import Distribution
-from .jobs import Job, build_jobs
-from .errors import PVFSError, FileNotFound, LockUnsupported
+from .jobs import Job, ServerPlan, build_jobs
+from .errors import PVFSError, FileNotFound, LockUnsupported, ProtocolError
+from .pipeline import (
+    HANDLER_REGISTRY,
+    RequestHandler,
+    register_handler,
+    resolve_handler,
+)
 
 __all__ = [
     "PVFS",
@@ -40,8 +49,14 @@ __all__ = [
     "FileHandle",
     "Distribution",
     "Job",
+    "ServerPlan",
     "build_jobs",
     "PVFSError",
     "FileNotFound",
     "LockUnsupported",
+    "ProtocolError",
+    "HANDLER_REGISTRY",
+    "RequestHandler",
+    "register_handler",
+    "resolve_handler",
 ]

@@ -25,7 +25,7 @@ sum of the individual operations — see DESIGN.md §5.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence, TYPE_CHECKING
 
 import numpy as np
@@ -57,11 +57,12 @@ class ClientCounters:
     """Per-client accounting used by the characteristics tables."""
 
     io_ops: int = 0  #: file-system level operations issued
-    requests_sent: int = 0  #: messages to I/O servers
+    requests_sent: int = 0  #: messages to I/O servers (incl. resends)
     request_desc_bytes: int = 0  #: request description bytes on the wire
     bytes_read: int = 0  #: file data received
     bytes_written: int = 0  #: file data sent
     regions_shipped: int = 0  #: offset-length pairs sent in list requests
+    retries: int = 0  #: resends after server admission-control rejection
 
     def reset(self) -> None:
         self.io_ops = 0
@@ -70,6 +71,7 @@ class ClientCounters:
         self.bytes_read = 0
         self.bytes_written = 0
         self.regions_shipped = 0
+        self.retries = 0
 
 
 @dataclass
@@ -633,31 +635,50 @@ class PVFSClient:
         return out
 
     def _io_round(self, requests):
-        """Send all requests, then collect every response."""
-        net = self.system.net
+        """Send all requests, then collect every response.
+
+        A server running with a bounded admission queue may reject a
+        request outright (``IOResponse.rejected``); the client backs off
+        ``server_retry_backoff`` seconds and resends until admitted —
+        the backpressure loop of the multi-threaded server model.
+        """
         env = self.system.env
-        costs = self.system.costs
-        servers = self.system.servers
+        cfg = self.system.config
         responses: dict[int, IOResponse] = {}
         for req, _spos, _regions in requests:
-            dst = servers[req.server].mailbox
-            desc = req.descriptor_bytes(costs)
-            self.counters.requests_sent += 1
-            self.counters.request_desc_bytes += desc
-            self.counters.regions_shipped += req.listio_pairs
-            # non-blocking sockets: requests to distinct servers are in
-            # flight concurrently; the NIC reservations still serialize
-            # the actual bytes
-            yield from net.send(
-                self.mailbox,
-                dst,
-                req.wire_bytes(costs),
-                payload=req,
-                pace=False,
-            )
+            yield from self._send_io(req)
         for req, _spos, _regions in requests:
-            resp: IOResponse = yield from self._await_response(req.req_id)
-            if resp.error:
-                raise PVFSError(resp.error)
-            responses[resp.req_id] = resp
+            while True:
+                resp: IOResponse = yield from self._await_response(
+                    req.req_id
+                )
+                if resp.rejected:
+                    self.counters.retries += 1
+                    if cfg.server_retry_backoff > 0:
+                        yield env.timeout(cfg.server_retry_backoff)
+                    yield from self._send_io(req)
+                    continue
+                if resp.error:
+                    raise PVFSError(resp.error)
+                responses[resp.req_id] = resp
+                break
         return responses
+
+    def _send_io(self, req: IORequest):
+        """Ship one I/O request (counted; used for sends and resends)."""
+        net = self.system.net
+        costs = self.system.costs
+        dst = self.system.servers[req.server].mailbox
+        self.counters.requests_sent += 1
+        self.counters.request_desc_bytes += req.descriptor_bytes(costs)
+        self.counters.regions_shipped += req.listio_pairs
+        # non-blocking sockets: requests to distinct servers are in
+        # flight concurrently; the NIC reservations still serialize
+        # the actual bytes
+        yield from net.send(
+            self.mailbox,
+            dst,
+            req.wire_bytes(costs),
+            payload=req,
+            pace=False,
+        )

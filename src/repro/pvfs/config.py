@@ -42,6 +42,22 @@ class PVFSConfig:
     #: serialized dataloop.  Changes timing and wire sizes, never
     #: results.
     datatype_cache: bool = False
+    #: Worker threads per I/O daemon.  ``1`` (default) is the paper's
+    #: single-threaded iod: requests serialize through one loop and the
+    #: CPU work of read-side access-list construction stalls the
+    #: transmit pump (§4.3).  ``N > 1`` models a modern multi-threaded
+    #: server: plan and storage stages of distinct requests overlap (up
+    #: to N at once, disk arm still serialized) and a dedicated network
+    #: thread keeps pumping responses.  Changes timing, never results.
+    server_threads: int = 1
+    #: Bound on requests admitted per server (queued + in service) when
+    #: ``server_threads > 1``.  Beyond it the server rejects the request
+    #: outright and the client backs off and resends (admission control
+    #: / backpressure).  Ignored in single-threaded mode, where the
+    #: paper's unbounded mailbox queueing is preserved.
+    server_queue_depth: int = 64
+    #: Client back-off before resending a rejected request (seconds).
+    server_retry_backoff: float = 2.0e-3
     #: Whether byte-range locking is available (PVFS: no).
     supports_locking: bool = False
     #: Collapse runs of consecutive synchronous requests from one
@@ -58,3 +74,11 @@ class PVFSConfig:
             raise ValueError("metadata_server out of range")
         if self.list_io_max_regions < 1:
             raise ValueError("list_io_max_regions must be positive")
+        if self.server_threads < 1:
+            raise ValueError("server_threads must be positive")
+        if self.server_queue_depth < self.server_threads:
+            raise ValueError(
+                "server_queue_depth must be at least server_threads"
+            )
+        if self.server_retry_backoff < 0:
+            raise ValueError("server_retry_backoff must be non-negative")

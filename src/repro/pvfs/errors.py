@@ -2,11 +2,25 @@
 
 from __future__ import annotations
 
-__all__ = ["PVFSError", "FileNotFound", "FileExists", "LockUnsupported"]
+__all__ = [
+    "PVFSError",
+    "FileNotFound",
+    "FileExists",
+    "LockUnsupported",
+    "ProtocolError",
+]
 
 
 class PVFSError(Exception):
     """Base class for file-system errors."""
+
+
+class ProtocolError(PVFSError):
+    """A request that violates the wire protocol (malformed message).
+
+    Raised by the server's decode stage; the daemon reports it back to
+    the client instead of dying.
+    """
 
 
 class FileNotFound(PVFSError):

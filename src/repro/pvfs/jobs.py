@@ -11,12 +11,31 @@ charges for exactly these lists.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..regions import Regions
 from .distribution import Distribution, ServerSplit
 
-__all__ = ["Job", "build_jobs"]
+__all__ = ["Job", "ServerPlan", "build_jobs"]
+
+
+@dataclass
+class ServerPlan:
+    """The server-side counterpart of a :class:`Job`: the outcome of the
+    pipeline's *plan* stage for one request.
+
+    ``regions`` is the access list the storage stage will move,
+    ``built``/``scanned`` are the access-construction counters the
+    paper's analysis charges for (§3.2/§4.3), and ``proc_cost`` is the
+    simulated CPU seconds the construction took.
+    """
+
+    regions: Regions
+    built: int = 0
+    scanned: int = 0
+    proc_cost: float = 0.0
 
 
 class Job:

@@ -1,0 +1,473 @@
+"""Staged server request pipeline.
+
+Every I/O request moves through four explicit stages:
+
+``decode`` → ``plan`` → ``storage`` → ``respond``
+
+* **decode** — parse/validate the request and charge the per-operation
+  dispatch cost (``fs_op_server_cost``);
+* **plan** — build the access structures: intersect shipped regions
+  with local strips, or expand a shipped dataloop window with partial
+  processing (§3.2); produces a :class:`~repro.pvfs.jobs.ServerPlan`;
+* **storage** — move bytes against the local :class:`BlockStore` and
+  charge disk positioning + transfer time;
+* **respond** — hand the reply to the socket layer.
+
+The three request kinds (contiguous/POSIX, list I/O, datatype I/O) plus
+the PVFS2-style ``direct_dataloop`` streaming variant are pluggable
+:class:`RequestHandler` classes in a registry — new request kinds
+register themselves instead of growing an ``if/elif`` chain in the
+daemon.
+
+Two schedulers drive the pipeline:
+
+* :class:`SerialScheduler` (``server_threads=1``, the default) is the
+  paper's single-threaded iod: stages of one request run back-to-back
+  inside the daemon loop, plan + storage charge one combined busy
+  period, and read-side CPU work stalls the transmit pump — bit-for-bit
+  the seed's timing (§4.3's read decline depends on it);
+* :class:`ThreadedScheduler` (``server_threads=N``) models a modern
+  multi-threaded daemon: a dispatcher admits requests into a bounded
+  queue (rejecting with backpressure when full; clients back off and
+  resend), up to N workers run plan/storage stages of distinct requests
+  concurrently, the single disk arm still serializes media time, and
+  responses are pumped by a dedicated network thread (no tx stall).
+
+Both schedulers record per-stage times into the server's
+:class:`~repro.simulation.stats.StageTimes`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..dataloops import DataloopStream
+from ..regions import Regions
+from ..simulation.resources import Resource
+from .distribution import ServerSplit
+from .errors import ProtocolError
+from .jobs import ServerPlan
+from .protocol import OP_CONTIG, OP_DTYPE, OP_LIST, IORequest, IOResponse
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .server import IOServer
+
+__all__ = [
+    "RequestHandler",
+    "ContiguousHandler",
+    "ListIOHandler",
+    "DatatypeHandler",
+    "DirectDataloopHandler",
+    "HANDLER_REGISTRY",
+    "register_handler",
+    "resolve_handler",
+    "SerialScheduler",
+    "ThreadedScheduler",
+    "make_scheduler",
+]
+
+
+# ----------------------------------------------------------------------
+# handler registry
+# ----------------------------------------------------------------------
+#: op-kind key → handler class.  Variant handlers use ``kind:variant``
+#: keys; :func:`resolve_handler` falls back to the bare kind.
+HANDLER_REGISTRY: dict[str, type["RequestHandler"]] = {}
+
+
+def register_handler(cls: type["RequestHandler"]) -> type["RequestHandler"]:
+    """Class decorator: register a handler under its ``registry_key``."""
+    key = cls.registry_key
+    if not key:
+        raise ValueError(f"{cls.__name__} has no registry_key")
+    HANDLER_REGISTRY[key] = cls
+    return cls
+
+
+def resolve_handler(op_kind: str, config) -> "RequestHandler":
+    """Pick the handler instance for a request kind under ``config``.
+
+    Datatype requests resolve to the streaming variant when the file
+    system runs in ``direct_dataloop`` mode; unknown kinds raise
+    :class:`ProtocolError` (reported to the client, not fatal).
+    """
+    key = op_kind
+    if op_kind == OP_DTYPE and config.direct_dataloop:
+        key = OP_DTYPE + ":direct"
+    cls = HANDLER_REGISTRY.get(key) or HANDLER_REGISTRY.get(op_kind)
+    if cls is None:
+        raise ProtocolError(f"no handler registered for op kind {op_kind!r}")
+    return cls.instance()
+
+
+class RequestHandler:
+    """One request kind's decode and plan stages.
+
+    Handlers are stateless singletons; per-request state lives in the
+    request and the :class:`~repro.pvfs.jobs.ServerPlan` they return.
+    """
+
+    #: registry key (op kind, optionally ``kind:variant``)
+    registry_key: str = ""
+    _instance: "RequestHandler | None" = None
+
+    @classmethod
+    def instance(cls) -> "RequestHandler":
+        inst = cls.__dict__.get("_instance")
+        if inst is None:
+            inst = cls()
+            cls._instance = inst
+        return inst
+
+    # -- decode --------------------------------------------------------
+    def decode(self, server: "IOServer", req: IORequest) -> float:
+        """Validate the request; return the parse/dispatch CPU cost."""
+        req.validate()
+        return server.system.costs.fs_op_server_cost * req.op_count
+
+    # -- plan ----------------------------------------------------------
+    def plan(self, server: "IOServer", req: IORequest) -> ServerPlan:
+        """Build the access list and account its construction cost."""
+        raise NotImplementedError
+
+
+class _ShippedRegionsHandler(RequestHandler):
+    """Base for kinds whose request already carries this server's
+    physical regions (the client did the striping split)."""
+
+    def plan(self, server: "IOServer", req: IORequest) -> ServerPlan:
+        costs = server.system.costs
+        regions = req.regions
+        built = regions.count
+        per_region = (
+            costs.server_region_write_cost
+            if req.is_write
+            else costs.server_region_read_cost
+        )
+        return ServerPlan(
+            regions=regions, built=built, proc_cost=built * per_region
+        )
+
+
+@register_handler
+class ContiguousHandler(_ShippedRegionsHandler):
+    """POSIX-style contiguous operations (possibly sim-batched runs)."""
+
+    registry_key = OP_CONTIG
+
+
+@register_handler
+class ListIOHandler(_ShippedRegionsHandler):
+    """List I/O: bounded offset–length lists shipped on the wire (§2.4)."""
+
+    registry_key = OP_LIST
+
+
+@register_handler
+class DatatypeHandler(RequestHandler):
+    """Datatype I/O: expand the shipped dataloop window locally (§3.2).
+
+    Uses partial processing: the window is expanded in bounded batches,
+    each immediately intersected with the local strips, so intermediate
+    offset–length storage never exceeds the batch bound.
+    """
+
+    registry_key = OP_DTYPE
+
+    def plan(self, server: "IOServer", req: IORequest) -> ServerPlan:
+        costs = server.system.costs
+        split, scanned = self._expand_window(server, req)
+        regions = split.regions
+        built = regions.count
+        return ServerPlan(
+            regions=regions,
+            built=built,
+            scanned=scanned,
+            proc_cost=self._proc_cost(costs, req, built, scanned),
+        )
+
+    def _proc_cost(self, costs, req, built: int, scanned: int) -> float:
+        per_region = (
+            costs.server_region_write_cost
+            if req.is_write
+            else costs.server_region_read_cost
+        )
+        return scanned * costs.server_region_scan_cost + built * per_region
+
+    def _expand_window(
+        self, server: "IOServer", req: IORequest
+    ) -> tuple[ServerSplit, int]:
+        cfg = server.system.config
+        win = req.window
+        meta = server.system.metadata.lookup(req.handle)
+        dist = meta.dist
+
+        stream = DataloopStream(
+            win.loop,
+            count=win.tile_count(),
+            base_offset=win.displacement,
+            first=win.first,
+            last=win.last,
+            max_regions=cfg.dataloop_batch_regions,
+        )
+        parts: list[Regions] = []
+        sposs: list[np.ndarray] = []
+        scanned = 0
+        base = 0
+        for batch in stream:
+            scanned += batch.count
+            split = dist.server_regions(batch, server.index)
+            if split.regions.count:
+                parts.append(split.regions)
+                sposs.append(split.stream_pos + base)
+            base += batch.total_bytes
+        if parts:
+            regions = Regions.concat(parts)
+            spos = np.concatenate(sposs)
+        else:
+            regions = Regions.empty()
+            spos = np.empty(0, dtype=np.int64)
+        return ServerSplit(server.index, regions, spos), scanned
+
+
+@register_handler
+class DirectDataloopHandler(DatatypeHandler):
+    """PVFS2-style streaming variant (§5): data moves straight from the
+    dataloop cursor, so only the scan arithmetic is charged — no
+    job/access list construction cost."""
+
+    registry_key = OP_DTYPE + ":direct"
+
+    def _proc_cost(self, costs, req, built: int, scanned: int) -> float:
+        return scanned * costs.server_region_scan_cost
+
+
+# ----------------------------------------------------------------------
+# shared stage bodies
+# ----------------------------------------------------------------------
+def move_data(server: "IOServer", req: IORequest, plan: ServerPlan):
+    """The storage stage's data movement (no simulated time here; the
+    scheduler charges the disk time).  Returns the response."""
+    regions = plan.regions
+    nbytes = regions.total_bytes
+    if req.is_write:
+        if req.payload is not None:
+            server.store.write_regions(req.handle, regions, req.payload)
+        else:
+            server.store.note_write(req.handle, regions)
+        server.bytes_written += nbytes
+        return IOResponse(
+            req.req_id, nbytes=nbytes, accesses_built=plan.built
+        )
+    if req.phantom:
+        server.store.note_read(regions)
+        data = None
+    else:
+        data = server.store.read_regions(req.handle, regions)
+    server.bytes_read += nbytes
+    return IOResponse(
+        req.req_id, payload=data, nbytes=nbytes, accesses_built=plan.built
+    )
+
+
+def send_error(server: "IOServer", req: IORequest, exc: Exception):
+    """Report a failed request back to the client (daemon survives)."""
+    costs = server.system.costs
+    resp = IOResponse(req.req_id, error=f"{type(exc).__name__}: {exc}")
+    yield from server.system.net.send(
+        server.mailbox,
+        req.reply_to,
+        costs.header_bytes,
+        payload=resp,
+        pace=False,
+    )
+
+
+def _respond(server: "IOServer", req: IORequest, resp: IOResponse):
+    """Respond stage: non-blocking handoff to the socket layer; the
+    reply drains while the daemon services the next request."""
+    env = server.system.env
+    t0 = env.now
+    yield from server.system.net.send(
+        server.mailbox,
+        req.reply_to,
+        resp.wire_bytes(server.system.costs, req.is_write),
+        payload=resp,
+        pace=False,
+    )
+    server.stage_times.respond += env.now - t0
+
+
+# ----------------------------------------------------------------------
+# schedulers
+# ----------------------------------------------------------------------
+class SerialScheduler:
+    """The paper's single-threaded iod, expressed over the pipeline.
+
+    Stage charging is bit-for-bit the seed implementation: one decode
+    timeout, then plan + storage as a single combined busy period during
+    which (for reads) the node's transmit horizon is pushed out — the
+    stalled socket pump behind the §4.3 read decline.
+    """
+
+    concurrent = False
+
+    def __init__(self, server: "IOServer"):
+        self.server = server
+
+    def submit(self, req: IORequest):
+        server = self.server
+        st = server.stage_times
+        queued = len(server.mailbox) + 1  # waiting + the one in hand
+        if queued > st.peak_queue:
+            st.peak_queue = queued
+        try:
+            yield from self._serve(req)
+        except Exception as exc:  # noqa: BLE001 - daemon must survive
+            yield from send_error(server, req, exc)
+
+    def _serve(self, req: IORequest):
+        server = self.server
+        env = server.system.env
+        st = server.stage_times
+
+        # ----- decode -----
+        handler = resolve_handler(req.op_kind, server.system.config)
+        server.requests += 1
+        server.ops += req.op_count
+        st.requests += 1
+        t0 = env.now
+        yield env.timeout(handler.decode(server, req))
+        st.decode += env.now - t0
+
+        # ----- plan + storage timing (one busy period) -----
+        plan = handler.plan(server, req)
+        server.accesses_built += plan.built
+        server.regions_scanned += plan.scanned
+        disk_time = server.disk.access_time(plan.regions)
+        busy = plan.proc_cost + disk_time
+        if busy > 0:
+            if not req.is_write:
+                # The iod is single-threaded: while its CPU builds
+                # access lists (or blocks in read syscalls) it is not
+                # pumping earlier responses out of the socket buffers.
+                # Reads therefore stall the transmit pump — the effect
+                # behind the 3-D block read decline (§4.3).  Writes are
+                # sink-side; TCP buffering hides the processing.
+                node = server.node
+                node.tx_busy_until = max(node.tx_busy_until, env.now) + busy
+            yield env.timeout(busy)
+        st.plan += plan.proc_cost
+        st.storage += disk_time
+
+        # ----- storage data movement + respond -----
+        resp = move_data(server, req, plan)
+        yield from _respond(server, req, resp)
+
+
+class ThreadedScheduler:
+    """Multi-threaded iod with a bounded admission queue.
+
+    The dispatcher (the daemon's receive loop) either admits a request —
+    spawning a worker that queues on the thread pool — or, when
+    ``server_queue_depth`` requests are already in the building, rejects
+    it immediately so the client backs off and resends.  Workers overlap
+    plan/storage stages of distinct requests; one disk arm per server
+    still serializes media time; responses never stall on request CPU
+    (a dedicated network thread pumps the sockets).
+    """
+
+    concurrent = True
+
+    def __init__(self, server: "IOServer"):
+        self.server = server
+        env = server.system.env
+        cfg = server.system.config
+        self.threads = Resource(
+            env, capacity=cfg.server_threads, name=f"iod{server.index}.cpu"
+        )
+        self.disk_arm = Resource(
+            env, capacity=1, name=f"iod{server.index}.disk"
+        )
+        self.inflight = 0
+
+    def submit(self, req: IORequest):
+        server = self.server
+        cfg = server.system.config
+        st = server.stage_times
+        if self.inflight >= cfg.server_queue_depth:
+            # admission control: explicit rejection, client will retry
+            st.rejected += 1
+            resp = IOResponse(req.req_id, rejected=True)
+            yield from server.system.net.send(
+                server.mailbox,
+                req.reply_to,
+                server.system.costs.header_bytes,
+                payload=resp,
+                pace=False,
+            )
+            return
+        self.inflight += 1
+        if self.inflight > st.peak_queue:
+            st.peak_queue = self.inflight
+        server.system.env.process(
+            self._worker(req),
+            name=f"iod{server.index}.req{req.req_id}",
+        )
+
+    def _worker(self, req: IORequest):
+        server = self.server
+        try:
+            yield self.threads.request()
+            try:
+                yield from self._serve(req)
+            finally:
+                self.threads.release()
+        except Exception as exc:  # noqa: BLE001 - daemon must survive
+            yield from send_error(server, req, exc)
+        finally:
+            self.inflight -= 1
+
+    def _serve(self, req: IORequest):
+        server = self.server
+        env = server.system.env
+        st = server.stage_times
+
+        # ----- decode -----
+        handler = resolve_handler(req.op_kind, server.system.config)
+        server.requests += 1
+        server.ops += req.op_count
+        st.requests += 1
+        t0 = env.now
+        yield env.timeout(handler.decode(server, req))
+        st.decode += env.now - t0
+
+        # ----- plan (concurrent across requests, up to N threads) -----
+        plan = handler.plan(server, req)
+        server.accesses_built += plan.built
+        server.regions_scanned += plan.scanned
+        if plan.proc_cost > 0:
+            yield env.timeout(plan.proc_cost)
+        st.plan += plan.proc_cost
+
+        # ----- storage (one disk arm per server) -----
+        yield self.disk_arm.request()
+        try:
+            disk_time = server.disk.access_time(plan.regions)
+            if disk_time > 0:
+                yield env.timeout(disk_time)
+        finally:
+            self.disk_arm.release()
+        st.storage += disk_time
+
+        resp = move_data(server, req, plan)
+        yield from _respond(server, req, resp)
+
+
+def make_scheduler(server: "IOServer"):
+    """Pick the scheduler for the configured concurrency level."""
+    if server.system.config.server_threads == 1:
+        return SerialScheduler(server)
+    return ThreadedScheduler(server)

@@ -9,7 +9,7 @@ central effects.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 import numpy as np
@@ -26,11 +26,13 @@ __all__ = [
     "OP_CONTIG",
     "OP_LIST",
     "OP_DTYPE",
+    "OP_KINDS",
 ]
 
 OP_CONTIG = "contig"
 OP_LIST = "list"
 OP_DTYPE = "dtype"
+OP_KINDS = (OP_CONTIG, OP_LIST, OP_DTYPE)
 
 
 @dataclass
@@ -114,6 +116,27 @@ class IORequest:
     client: str = ""
     server: int = -1  # destination I/O server index
 
+    def validate(self) -> None:
+        """Check structural well-formedness (the server's decode stage).
+
+        A malformed request must produce an error response, not kill the
+        daemon, so this raises :class:`~repro.pvfs.errors.ProtocolError`
+        with a message the server can ship back.
+        """
+        from .errors import ProtocolError
+
+        if self.op_kind not in OP_KINDS:
+            raise ProtocolError(f"unknown op kind {self.op_kind!r}")
+        if self.op_kind == OP_DTYPE:
+            if self.window is None:
+                raise ProtocolError(
+                    "datatype request without a dataloop window"
+                )
+        elif self.regions is None:
+            raise ProtocolError(
+                f"{self.op_kind} request without an access region list"
+            )
+
     def descriptor_bytes(self, costs) -> int:
         """Wire bytes of the request *description* (excl. payload)."""
         size = costs.header_bytes * self.op_count
@@ -142,6 +165,10 @@ class IOResponse:
     nbytes: int = 0  # data bytes represented (even when phantom)
     accesses_built: int = 0  # server-side access-list length
     error: Optional[str] = None
+    #: Admission control: the server's bounded request queue was full
+    #: and the request was not processed — the client should back off
+    #: and resend (only possible with ``server_threads > 1``).
+    rejected: bool = False
 
     def wire_bytes(self, costs, is_write: bool) -> int:
         return costs.header_bytes + (0 if is_write else self.nbytes)

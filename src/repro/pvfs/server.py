@@ -1,25 +1,28 @@
 """PVFS I/O server (iod).
 
-A single-threaded request loop, as in PVFS: parse → build the
-job/access structures → move data against the local store → respond.
-Being single-threaded is what serializes concurrent clients' requests
-at a busy server, and the asymmetry between read and write region
-processing (reads: on the critical path before data can flow; writes:
-hidden behind sink-side buffering) is what produces the 3-D block read
-decline of paper §4.3.
+The daemon is a receive loop feeding a staged request pipeline
+(decode → plan → storage → respond; see :mod:`repro.pvfs.pipeline`).
+Request kinds dispatch through the pluggable handler registry, and a
+scheduler chosen by ``PVFSConfig.server_threads`` decides how stages
+interleave across requests:
+
+* ``server_threads=1`` (default) — the paper's single-threaded loop:
+  requests serialize, and the asymmetry between read and write region
+  processing (reads: on the critical path before data can flow;
+  writes: hidden behind sink-side buffering) produces the 3-D block
+  read decline of paper §4.3;
+* ``server_threads=N`` — a multi-threaded daemon with a bounded
+  admission queue and overlapped plan/storage stages.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-import numpy as np
-
-from ..dataloops import DataloopStream
-from ..regions import Regions
+from ..simulation.stats import StageTimes
 from ..storage import BlockStore, DiskModel
-from .protocol import OP_DTYPE, IORequest, IOResponse
-from .distribution import ServerSplit
+from .pipeline import make_scheduler
+from .protocol import IORequest
 
 if TYPE_CHECKING:  # pragma: no cover
     from .system import PVFS
@@ -37,6 +40,7 @@ class IOServer:
         self.mailbox = mailbox
         self.store = BlockStore()
         self.disk = DiskModel(system.costs)
+        self.scheduler = make_scheduler(self)
         # counters
         self.requests = 0
         self.ops = 0
@@ -44,6 +48,7 @@ class IOServer:
         self.regions_scanned = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        self.stage_times = StageTimes()
 
     # ------------------------------------------------------------------
     def run(self):
@@ -64,146 +69,7 @@ class IOServer:
                 )
                 continue
             req: IORequest = payload
-            try:
-                yield from self._handle_io(req)
-            except Exception as exc:  # noqa: BLE001 - daemon must survive
-                # a malformed request must not kill the daemon: report
-                # the error back to the client instead
-                resp = IOResponse(
-                    req.req_id, error=f"{type(exc).__name__}: {exc}"
-                )
-                yield from net.send(
-                    self.mailbox,
-                    req.reply_to,
-                    costs.header_bytes,
-                    payload=resp,
-                    pace=False,
-                )
-
-    # ------------------------------------------------------------------
-    def _handle_io(self, req: IORequest):
-        env = self.system.env
-        net = self.system.net
-        costs = self.system.costs
-        cfg = self.system.config
-        self.requests += 1
-        self.ops += req.op_count
-
-        # request parse/dispatch
-        yield env.timeout(costs.fs_op_server_cost * req.op_count)
-
-        # ----- build the access list -----
-        if req.op_kind == OP_DTYPE:
-            split, scanned = self._expand_window(req)
-            regions = split.regions
-            built = regions.count
-            self.regions_scanned += scanned
-            if cfg.direct_dataloop:
-                # PVFS2-style: stream directly from the dataloop; only
-                # the scan arithmetic remains, no list construction.
-                proc = scanned * costs.server_region_scan_cost
-            else:
-                per_region = (
-                    costs.server_region_write_cost
-                    if req.is_write
-                    else costs.server_region_read_cost
-                )
-                proc = (
-                    scanned * costs.server_region_scan_cost
-                    + built * per_region
-                )
-        else:
-            regions = req.regions
-            built = regions.count
-            per_region = (
-                costs.server_region_write_cost
-                if req.is_write
-                else costs.server_region_read_cost
-            )
-            proc = built * per_region
-        self.accesses_built += built
-
-        # ----- disk + data movement -----
-        disk_time = self.disk.access_time(regions)
-        busy = proc + disk_time
-        if busy > 0:
-            if not req.is_write:
-                # The iod is single-threaded: while its CPU builds
-                # access lists (or blocks in read syscalls) it is not
-                # pumping earlier responses out of the socket buffers.
-                # Reads therefore stall the transmit pump — the effect
-                # behind the 3-D block read decline (§4.3).  Writes are
-                # sink-side; TCP buffering hides the processing.
-                node = self.node
-                node.tx_busy_until = max(node.tx_busy_until, env.now) + busy
-            yield env.timeout(busy)
-
-        nbytes = regions.total_bytes
-        if req.is_write:
-            if req.payload is not None:
-                self.store.write_regions(req.handle, regions, req.payload)
-            else:
-                self.store.note_write(req.handle, regions)
-            self.bytes_written += nbytes
-            resp = IOResponse(req.req_id, nbytes=nbytes, accesses_built=built)
-        else:
-            if req.phantom:
-                self.store.note_read(regions)
-                data = None
-            else:
-                data = self.store.read_regions(req.handle, regions)
-            self.bytes_read += nbytes
-            resp = IOResponse(
-                req.req_id, payload=data, nbytes=nbytes, accesses_built=built
-            )
-
-        # non-blocking response: the daemon hands the reply to the
-        # socket layer and services the next request while it drains
-        yield from net.send(
-            self.mailbox,
-            req.reply_to,
-            resp.wire_bytes(costs, req.is_write),
-            payload=resp,
-            pace=False,
-        )
-
-    # ------------------------------------------------------------------
-    def _expand_window(self, req: IORequest) -> tuple[ServerSplit, int]:
-        """Expand the shipped dataloop; keep only this server's pieces.
-
-        Uses partial processing: the window is expanded in bounded
-        batches, each immediately intersected with the local strips, so
-        intermediate offset–length storage never exceeds the batch
-        bound (paper §3.2).
-        """
-        cfg = self.system.config
-        win = req.window
-        meta = self.system.metadata.lookup(req.handle)
-        dist = meta.dist
-
-        stream = DataloopStream(
-            win.loop,
-            count=win.tile_count(),
-            base_offset=win.displacement,
-            first=win.first,
-            last=win.last,
-            max_regions=cfg.dataloop_batch_regions,
-        )
-        parts: list[Regions] = []
-        sposs: list[np.ndarray] = []
-        scanned = 0
-        base = 0
-        for batch in stream:
-            scanned += batch.count
-            split = dist.server_regions(batch, self.index)
-            if split.regions.count:
-                parts.append(split.regions)
-                sposs.append(split.stream_pos + base)
-            base += batch.total_bytes
-        if parts:
-            regions = Regions.concat(parts)
-            spos = np.concatenate(sposs)
-        else:
-            regions = Regions.empty()
-            spos = np.empty(0, dtype=np.int64)
-        return ServerSplit(self.index, regions, spos), scanned
+            # the scheduler owns error containment: a malformed or
+            # failing request becomes an error response, never a dead
+            # daemon
+            yield from self.scheduler.submit(req)

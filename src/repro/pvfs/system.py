@@ -14,7 +14,13 @@ from typing import Optional
 import numpy as np
 
 from ..regions import Regions
-from ..simulation import CostModel, Environment, Network
+from ..simulation import (
+    CostModel,
+    Environment,
+    Network,
+    ServerPipelineSummary,
+    summarize_servers,
+)
 from .client import PVFSClient
 from .config import PVFSConfig
 from .locks import LockManager
@@ -138,3 +144,8 @@ class PVFS:
             out["bytes_written"] += s.bytes_written
             out["disk_seeks"] += s.disk.total_seeks
         return out
+
+    def pipeline_summary(self) -> ServerPipelineSummary:
+        """Per-stage (decode/plan/storage/respond) server time, queue
+        depths and admission-control rejections across all servers."""
+        return summarize_servers(self.servers)

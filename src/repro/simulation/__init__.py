@@ -23,7 +23,14 @@ from .engine import Environment, Event, Process, Timeout, AllOf, Interrupt
 from .resources import Resource, Store
 from .network import Network, Node, Mailbox
 from .costs import CostModel
-from .stats import NetworkSummary, NodeUtilization, summarize_network
+from .stats import (
+    NetworkSummary,
+    NodeUtilization,
+    ServerPipelineSummary,
+    StageTimes,
+    summarize_network,
+    summarize_servers,
+)
 
 __all__ = [
     "Environment",
@@ -40,5 +47,8 @@ __all__ = [
     "CostModel",
     "NetworkSummary",
     "NodeUtilization",
+    "ServerPipelineSummary",
+    "StageTimes",
     "summarize_network",
+    "summarize_servers",
 ]

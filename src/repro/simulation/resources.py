@@ -39,6 +39,7 @@ class Resource:
         self.busy_time = 0.0
         self._busy_since: float | None = None
         self.total_acquisitions = 0
+        self.peak_queue = 0  #: max waiters ever queued behind the slots
 
     # ------------------------------------------------------------------
     @property
@@ -56,6 +57,8 @@ class Resource:
             self._grant(ev)
         else:
             self._waiters.append(ev)
+            if len(self._waiters) > self.peak_queue:
+                self.peak_queue = len(self._waiters)
         return ev
 
     def release(self) -> None:

@@ -14,7 +14,98 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover
     from .network import Network
 
-__all__ = ["NodeUtilization", "NetworkSummary", "summarize_network"]
+__all__ = [
+    "NodeUtilization",
+    "NetworkSummary",
+    "StageTimes",
+    "ServerPipelineSummary",
+    "summarize_network",
+    "summarize_servers",
+]
+
+
+@dataclass
+class StageTimes:
+    """Per-stage accounting of one I/O server's request pipeline.
+
+    Stage seconds are simulated CPU/disk charges attributed to the
+    decode → plan → storage → respond stages; in single-threaded paper
+    mode the plan and storage charges occur inside one combined busy
+    period, but the decomposition is still recorded so benchmarks can
+    report where server time goes per access method.
+    """
+
+    decode: float = 0.0  #: request parse/dispatch seconds
+    plan: float = 0.0  #: access-list construction / dataloop expansion
+    storage: float = 0.0  #: disk positioning + transfer seconds
+    respond: float = 0.0  #: response handoff seconds (send CPU)
+    requests: int = 0  #: requests fully processed
+    rejected: int = 0  #: requests refused by admission control
+    peak_queue: int = 0  #: deepest request queue observed
+
+    def add(self, other: "StageTimes") -> None:
+        self.decode += other.decode
+        self.plan += other.plan
+        self.storage += other.storage
+        self.respond += other.respond
+        self.requests += other.requests
+        self.rejected += other.rejected
+        self.peak_queue = max(self.peak_queue, other.peak_queue)
+
+    @property
+    def busy(self) -> float:
+        """Total seconds the pipeline charged across all stages."""
+        return self.decode + self.plan + self.storage + self.respond
+
+    def as_dict(self) -> dict:
+        return {
+            "decode_s": self.decode,
+            "plan_s": self.plan,
+            "storage_s": self.storage,
+            "respond_s": self.respond,
+            "requests": self.requests,
+            "rejected": self.rejected,
+            "peak_queue": self.peak_queue,
+        }
+
+
+@dataclass
+class ServerPipelineSummary:
+    """Aggregate + per-server pipeline stage accounting."""
+
+    total: StageTimes = field(default_factory=StageTimes)
+    per_server: dict[int, StageTimes] = field(default_factory=dict)
+
+    def dominant_stage(self) -> str:
+        """Name of the stage with the most accumulated time."""
+        stages = {
+            "decode": self.total.decode,
+            "plan": self.total.plan,
+            "storage": self.total.storage,
+            "respond": self.total.respond,
+        }
+        return max(stages.items(), key=lambda kv: kv[1])[0]
+
+
+def summarize_servers(servers) -> ServerPipelineSummary:
+    """Collect :class:`StageTimes` from I/O servers (ducktyped: anything
+    with ``index`` and ``stage_times`` attributes)."""
+    summary = ServerPipelineSummary()
+    for s in servers:
+        st = s.stage_times
+        summary.per_server[s.index] = st
+        summary.total.add(
+            StageTimes(
+                decode=st.decode,
+                plan=st.plan,
+                storage=st.storage,
+                respond=st.respond,
+                requests=st.requests,
+                rejected=st.rejected,
+                peak_queue=st.peak_queue,
+            )
+        )
+    return summary
 
 
 @dataclass

@@ -1,6 +1,5 @@
 """Figure harness functions (small parameterizations)."""
 
-import pytest
 
 from repro.bench import figures
 

@@ -1,13 +1,11 @@
 """Runner, report formatting, and CLI."""
 
-import numpy as np
 import pytest
 
 from repro.bench import (
     Block3DWorkload,
     FlashWorkload,
     TileWorkload,
-    RunResult,
     run_workload,
 )
 from repro.bench.characteristics import CharacteristicsRow

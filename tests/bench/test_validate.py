@@ -1,6 +1,5 @@
 """The cross-method validation harness itself."""
 
-import numpy as np
 import pytest
 
 from repro.bench import Block3DWorkload, FlashWorkload, TileWorkload

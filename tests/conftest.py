@@ -47,7 +47,6 @@ def small_datatypes(draw, depth=0):
         INT,
         SHORT,
         contiguous,
-        hindexed,
         hvector,
         indexed,
         resized,

@@ -1,6 +1,5 @@
 """Dataloop node validation and metrics."""
 
-import numpy as np
 import pytest
 
 from repro.dataloops import Dataloop

@@ -1,6 +1,5 @@
 """Partial processing: arbitrary stream windows, bounded batches."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -1,7 +1,5 @@
 """MPI_Type_get_envelope / get_contents introspection."""
 
-import pytest
-
 from repro.datatypes import (
     DOUBLE,
     INT,

@@ -5,7 +5,6 @@ import pytest
 from hypothesis import given, settings
 
 from repro.datatypes import (
-    BYTE,
     DOUBLE,
     INT,
     contiguous,

@@ -1,6 +1,5 @@
 """Simulated MPI communicator."""
 
-import numpy as np
 import pytest
 
 from repro.mpiio import SimMPI

@@ -1,7 +1,5 @@
 """Communicator edge cases and timing properties."""
 
-import pytest
-
 from repro.mpiio import SimMPI
 from repro.pvfs import PVFS
 from repro.simulation import Environment

@@ -8,7 +8,7 @@
 import numpy as np
 import pytest
 
-from repro.datatypes import BYTE, INT, contiguous, hvector, subarray
+from repro.datatypes import BYTE, contiguous, hvector, subarray
 from repro.mpiio import File, Hints, SimMPI
 from repro.pvfs import PVFS, PVFSConfig
 from repro.simulation import Environment

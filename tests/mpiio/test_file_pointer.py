@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.datatypes import BYTE, INT, contiguous, vector
-from repro.mpiio import File, Hints, SimMPI
+from repro.mpiio import File, SimMPI
 from repro.pvfs import PVFS
 from repro.simulation import Environment
 

@@ -1,7 +1,6 @@
 """List I/O operation splitting (the dual 64-region bound)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.mpiio.methods.listio import dual_bounded_cuts

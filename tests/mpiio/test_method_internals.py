@@ -1,9 +1,7 @@
 """Access-method internals: sieving chunk walk, posix piece math."""
 
 import numpy as np
-import pytest
-
-from repro.datatypes import BYTE, INT, contiguous, hvector, vector
+from repro.datatypes import BYTE, contiguous, hvector, vector
 from repro.mpiio import File, Hints, SimMPI
 from repro.mpiio.methods.sieving import _extent_chunks
 from repro.pvfs import PVFS, PVFSConfig

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.datatypes import BYTE, DOUBLE, INT, contiguous, subarray, vector
+from repro.datatypes import BYTE, INT, contiguous, subarray, vector
 from repro.mpiio import FileView
 
 

@@ -6,7 +6,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.datatypes import INT, subarray, vector
 from repro.dataloops import build_dataloop
-from repro.pvfs import PVFS, PVFSConfig
+from repro.pvfs import PVFS
 from repro.pvfs.errors import PVFSError
 from repro.regions import Regions
 from repro.simulation import Environment

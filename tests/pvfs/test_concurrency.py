@@ -1,8 +1,6 @@
 """Concurrent clients, multiple files, and edge semantics."""
 
 import numpy as np
-import pytest
-
 from repro.pvfs import PVFS
 from repro.regions import Regions
 from repro.simulation import Environment

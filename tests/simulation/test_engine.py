@@ -3,7 +3,7 @@
 import pytest
 
 from repro.simulation import Environment, Interrupt
-from repro.simulation.engine import AnyOf, SimulationError
+from repro.simulation.engine import SimulationError
 
 
 class TestTimeouts:

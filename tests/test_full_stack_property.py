@@ -8,11 +8,10 @@ bypassing the whole I/O stack.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.datatypes import BYTE, contiguous
-from repro.mpiio import File, Hints, SimMPI
+from repro.mpiio import File, SimMPI
 from repro.pvfs import PVFS, PVFSConfig
 from repro.simulation import Environment
 
