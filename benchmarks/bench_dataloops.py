@@ -15,9 +15,13 @@ from repro.dataloops import (
     loads,
     stream_regions,
 )
+from repro.pvfs.distribution import Distribution
+from repro.pvfs.expand_cache import ExpansionCache
+from repro.pvfs.protocol import DataloopWindow
 
 BLOCK_3D = subarray([600, 600, 600], [150, 150, 150], [0, 0, 0], INT)
 VECTOR_BIG = vector(100_000, 2, 5, INT)
+BLOCK_CACHE = subarray([64, 64, 64], [32, 32, 32], [16, 16, 16], INT)
 
 
 @pytest.fixture(scope="module")
@@ -77,6 +81,47 @@ def bench_datatype_flatten(benchmark):
 
     regions = benchmark(run)
     assert regions.count == 22_500
+
+
+@pytest.fixture(scope="module")
+def cache_window():
+    loop = build_dataloop(BLOCK_CACHE)
+    win = DataloopWindow(loop, 0, 0, 32 * loop.data_size)
+    return win, Distribution(4, 65536)
+
+
+def bench_expand_cache_miss(benchmark, cache_window):
+    """Server-side expansion with a cold cache every call (miss path)."""
+    win, dist = cache_window
+
+    def run():
+        cache = ExpansionCache(1 << 20, 1 << 18)
+        return cache.expand(win, dist, 0, 65536)
+
+    split, _, hit = benchmark(run)
+    assert not hit and split.regions.count
+
+
+def bench_expand_cache_hit(benchmark, cache_window):
+    """The same expansion through a warm cache (hit path)."""
+    win, dist = cache_window
+    cache = ExpansionCache(1 << 20, 1 << 18)
+    cache.expand(win, dist, 0, 65536)
+
+    split, _, hit = benchmark(cache.expand, win, dist, 0, 65536)
+    assert hit and split.regions.count
+
+
+def bench_expand_cache_periodic_hit(benchmark, cache_window):
+    """A different window assembled from the cached period entry."""
+    win, dist = cache_window
+    ds = win.loop.data_size
+    cache = ExpansionCache(1 << 20, 1 << 18)
+    cache.expand(win, dist, 0, 65536)
+    other = DataloopWindow(win.loop, 0, 2 * ds, 30 * ds)
+
+    split, _, hit = benchmark(cache.expand, other, dist, 0, 65536)
+    assert hit and split.regions.count
 
 
 def bench_serialize(benchmark, block_loop):

@@ -110,6 +110,26 @@ def cmd_json(args, out):
     print(f"[saved {path}]", file=sys.stderr)
 
 
+def cmd_dtype_cache(args, out):
+    """Expansion-cache speedup benchmark (BENCH_dtype_cache.json)."""
+    from .dtype_cache import write_dtype_cache_bench
+
+    path, data = write_dtype_cache_bench(out, quick=args.quick)
+    for name, ph in data["phases"].items():
+        print(
+            f"{name}: speedup {ph['speedup']:.2f}x "
+            f"(sim {ph['sim_speedup']:.2f}x), "
+            f"hit rate {ph['hit_rate']:.3f}"
+        )
+    print(f"overall: speedup {data['speedup']:.2f}x")
+    print(f"[saved {path}]", file=sys.stderr)
+    if args.min_speedup and data["speedup"] < args.min_speedup:
+        raise SystemExit(
+            f"cache speedup {data['speedup']:.2f}x below required "
+            f"{args.min_speedup:.2f}x"
+        )
+
+
 def cmd_validate(args, out):
     """Cross-method write x read validation on real data."""
     from .validate import validate_workload
@@ -125,6 +145,7 @@ def cmd_validate(args, out):
 
 COMMANDS = {
     "json": cmd_json,
+    "dtype-cache": cmd_dtype_cache,
     "validate": cmd_validate,
     "table1": cmd_table1,
     "table2": cmd_table2,
@@ -163,6 +184,13 @@ def main(argv=None) -> int:
         type=int,
         default=None,
         help="table2: run a single decomposition (2, 3 or 4)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="dtype-cache: exit nonzero if the cached run is not at "
+        "least this much faster than uncached (CI smoke gate)",
     )
     parser.add_argument(
         "--flash-clients",

@@ -25,7 +25,7 @@ prototype reuses:
 from .loops import Dataloop
 from .builder import build_dataloop
 from .segment import DataloopStream, stream_regions
-from .serialize import dumps, loads, wire_size
+from .serialize import dumps, fingerprint, loads, wire_size
 
 __all__ = [
     "Dataloop",
@@ -35,4 +35,5 @@ __all__ = [
     "dumps",
     "loads",
     "wire_size",
+    "fingerprint",
 ]

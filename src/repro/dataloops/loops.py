@@ -69,6 +69,8 @@ class Dataloop:
         "depth",
         "_block_stream_cum",
         "_flat_cache",
+        "_block_flat_cache",
+        "_fingerprint",
     )
 
     def __init__(
@@ -108,6 +110,8 @@ class Dataloop:
         self._validate()
         self._compute_metrics()
         self._flat_cache: Regions | None = None
+        self._block_flat_cache: Regions | None = None
+        self._fingerprint: bytes | None = None
 
     # ------------------------------------------------------------------
     def _validate(self) -> None:
@@ -389,6 +393,18 @@ class Dataloop:
     def node_count(self) -> int:
         """Number of dataloop nodes in this tree."""
         return 1 + sum(c.node_count() for c in self.children)
+
+    def fingerprint(self) -> bytes:
+        """Stable content digest of the tree (memoized).
+
+        Equal iff the serialized forms are equal — the identity a server
+        uses to key its expansion cache on a re-shipped loop.
+        """
+        if self._fingerprint is None:
+            from .serialize import fingerprint as _fingerprint
+
+            self._fingerprint = _fingerprint(self)
+        return self._fingerprint
 
     def describe(self, indent: int = 0) -> str:
         """Multi-line structural dump (for debugging and docs)."""

@@ -21,6 +21,19 @@ Fully covered interior subtrees whose region count is at most
 ``cache_threshold`` are expanded once via the loop's cached full
 flattening and then shifted per instance, which is both faster and
 identical in output.
+
+Runs of *whole* instances (and whole vector/blockindexed blocks) take a
+vectorized fast path: instead of one Python iteration per instance, the
+cached flattening is replicated with broadcast arithmetic
+(``tile``/``shift`` or an outer add against the block offsets) in
+chunks of up to ``max_regions`` regions.  The materialized region
+sequence is unchanged; only the internal batch boundaries may shift for
+windows larger than ``max_regions`` regions.
+
+:meth:`DataloopStream.instance_aligned_batches` exposes the same
+expansion with batch boundaries aligned to whole top-level instances
+(multiples of ``loop.data_size`` in stream space) — the periodicity
+metadata the server-side expansion cache needs.
 """
 
 from __future__ import annotations
@@ -126,6 +139,39 @@ class DataloopStream:
         """Materialize the whole range (analysis/testing convenience)."""
         return Regions.concat(list(self)).coalesce()
 
+    def instance_aligned_batches(self) -> Iterator[tuple[int, int, Regions]]:
+        """Yield ``(i0, i1, regions)`` batches cut at instance boundaries.
+
+        Each batch covers whole top-level instances ``[i0, i1)`` (the
+        window edges excepted), i.e. batch boundaries sit at multiples of
+        ``loop.data_size`` in stream space rather than at arbitrary
+        ``max_regions`` cuts.  ``dataloop_batch_regions`` remains the
+        bound: a batch holds at most ``max_regions`` regions unless a
+        single instance alone exceeds it (then batches are one instance
+        each).  This is the extent-aligned view a periodicity-exploiting
+        consumer (the server expansion cache) needs.
+        """
+        unit = self.loop.data_size
+        if unit <= 0 or self.first >= self.last:
+            return
+        a0 = self.first // unit
+        a1 = _ceil_div(self.last, unit)
+        ipb = max(1, self.max_regions // max(self.loop.region_count, 1))
+        for c0 in range(a0, a1, ipb):
+            c1 = min(c0 + ipb, a1)
+            sub = DataloopStream(
+                self.loop,
+                count=self.count,
+                base_offset=self.base_offset,
+                first=max(self.first, c0 * unit),
+                last=min(self.last, c1 * unit),
+                max_regions=self.max_regions,
+                cache_threshold=self.cache_threshold,
+            )
+            batch = sub.regions()
+            if batch.count:
+                yield c0, c1, batch
+
     # ------------------------------------------------------------------
     # recursive walk
     # ------------------------------------------------------------------
@@ -154,18 +200,33 @@ class DataloopStream:
             return
         i0 = max(s0 // unit, 0)
         i1 = min(_ceil_div(s1, unit), n)
-        for i in range(i0, i1):
+        i = i0
+        while i < i1:
             rel0 = max(s0 - i * unit, 0)
             rel1 = min(s1 - i * unit, unit)
-            ibase = base + i * step
             if (
                 rel0 == 0
                 and rel1 == unit
                 and loop.region_count <= self.cache_threshold
             ):
-                yield loop.flatten_full().shift(ibase)
+                # maximal run of whole instances [i, iw): replicate the
+                # cached flattening with broadcast tile/shift instead of
+                # one Python iteration per instance
+                iw = max(min(i1, s1 // unit), i + 1)
+                flat = loop.flatten_full()
+                if iw - i == 1:
+                    yield flat.shift(base + i * step)
+                else:
+                    ipb = max(1, self.max_regions // max(flat.count, 1))
+                    for c0 in range(i, iw, ipb):
+                        c1 = min(c0 + ipb, iw)
+                        yield flat.tile(c1 - c0, step).shift(
+                            base + c0 * step
+                        )
+                i = iw
             else:
-                yield from self._walk(loop, ibase, rel0, rel1)
+                yield from self._walk(loop, base + i * step, rel0, rel1)
+                i += 1
 
     def _walk(
         self, loop: Dataloop, base: int, s0: int, s1: int
@@ -189,17 +250,31 @@ class DataloopStream:
                 return
             j0 = max(s0 // block_bytes, 0)
             j1 = min(_ceil_div(s1, block_bytes), loop.count)
-            for j in range(j0, j1):
+            block_flat = self._block_flat(loop, child)
+            j = j0
+            while j < j1:
                 rel0 = max(s0 - j * block_bytes, 0)
                 rel1 = min(s1 - j * block_bytes, block_bytes)
-                yield from self._walk_instances(
-                    child,
-                    loop.blocksize,
-                    base + j * loop.stride,
-                    child.extent,
-                    rel0,
-                    rel1,
-                )
+                if block_flat is not None and rel0 == 0 and rel1 == block_bytes:
+                    # maximal run of whole blocks [j, jw): one tile/shift
+                    jw = max(min(j1, s1 // block_bytes), j + 1)
+                    ipb = max(1, self.max_regions // max(block_flat.count, 1))
+                    for c0 in range(j, jw, ipb):
+                        c1 = min(c0 + ipb, jw)
+                        yield block_flat.tile(c1 - c0, loop.stride).shift(
+                            base + c0 * loop.stride
+                        )
+                    j = jw
+                else:
+                    yield from self._walk_instances(
+                        child,
+                        loop.blocksize,
+                        base + j * loop.stride,
+                        child.extent,
+                        rel0,
+                        rel1,
+                    )
+                    j += 1
         elif k == "blockindexed":
             child = loop.children[0]
             block_bytes = loop.blocksize * child.data_size
@@ -207,17 +282,40 @@ class DataloopStream:
                 return
             j0 = max(s0 // block_bytes, 0)
             j1 = min(_ceil_div(s1, block_bytes), loop.count)
-            for j in range(j0, j1):
+            block_flat = self._block_flat(loop, child)
+            j = j0
+            while j < j1:
                 rel0 = max(s0 - j * block_bytes, 0)
                 rel1 = min(s1 - j * block_bytes, block_bytes)
-                yield from self._walk_instances(
-                    child,
-                    loop.blocksize,
-                    base + int(loop.offsets[j]),
-                    child.extent,
-                    rel0,
-                    rel1,
-                )
+                if block_flat is not None and rel0 == 0 and rel1 == block_bytes:
+                    # whole blocks at explicit offsets: outer-add the
+                    # block flattening against the offsets array
+                    jw = max(min(j1, s1 // block_bytes), j + 1)
+                    nb = block_flat.count
+                    ipb = max(1, self.max_regions // max(nb, 1))
+                    for c0 in range(j, jw, ipb):
+                        c1 = min(c0 + ipb, jw)
+                        offs = (
+                            (base + loop.offsets[c0:c1])[:, None]
+                            + block_flat.offsets[None, :]
+                        ).reshape(-1)
+                        lens = np.ascontiguousarray(
+                            np.broadcast_to(
+                                block_flat.lengths[None, :], (c1 - c0, nb)
+                            )
+                        ).reshape(-1)
+                        yield Regions(offs, lens, _trusted=True)
+                    j = jw
+                else:
+                    yield from self._walk_instances(
+                        child,
+                        loop.blocksize,
+                        base + int(loop.offsets[j]),
+                        child.extent,
+                        rel0,
+                        rel1,
+                    )
+                    j += 1
         elif k == "indexed":
             child = loop.children[0]
             cum = loop._block_stream_cum
@@ -254,6 +352,18 @@ class DataloopStream:
                     rel0,
                     rel1,
                 )
+
+    def _block_flat(self, loop: Dataloop, child: Dataloop) -> Regions | None:
+        """Cached coalesced flattening of one whole vector/blockindexed
+        block (``blocksize`` child instances), or ``None`` when the block
+        is too large to cache."""
+        if loop.blocksize * child.region_count > self.cache_threshold:
+            return None
+        if loop._block_flat_cache is None:
+            loop._block_flat_cache = (
+                child.flatten_full().tile(loop.blocksize, child.extent).coalesce()
+            )
+        return loop._block_flat_cache
 
     # ------------------------------------------------------------------
     def _final(

@@ -28,13 +28,14 @@ non-final nodes by exactly one child.
 
 from __future__ import annotations
 
+import hashlib
 import struct as _struct
 
 import numpy as np
 
 from .loops import KINDS, Dataloop
 
-__all__ = ["dumps", "loads", "wire_size"]
+__all__ = ["dumps", "loads", "wire_size", "fingerprint"]
 
 _HDR = _struct.Struct("<BBQqqqq")
 MAGIC = b"DLP1"
@@ -118,6 +119,18 @@ def loads(data: bytes) -> Dataloop:
             f"trailing bytes after dataloop: consumed {pos} of {len(data)}"
         )
     return loop
+
+
+def fingerprint(loop: Dataloop) -> bytes:
+    """Stable 16-byte content digest of a dataloop tree.
+
+    Two loops have equal fingerprints iff their serialized forms are
+    identical (same kinds, counts, strides, offsets, extents), which is
+    what a server needs to recognize a re-shipped loop without a
+    structural comparison.  Memoized on the loop via
+    :meth:`Dataloop.fingerprint`.
+    """
+    return hashlib.blake2b(dumps(loop), digest_size=16).digest()
 
 
 def wire_size(loop: Dataloop) -> int:

@@ -42,6 +42,22 @@ class PVFSConfig:
     #: serialized dataloop.  Changes timing and wire sizes, never
     #: results.
     datatype_cache: bool = False
+    #: Server-side dataloop expansion cache: each I/O daemon memoizes
+    #: the per-server splits (physical regions + stream positions) its
+    #: dataloop expansions produce, keyed by loop fingerprint +
+    #: stripe-normalized displacement + window, exploiting the
+    #: lcm(extent, stripe) periodicity of round-robin striping.  A hit
+    #: charges ``server_cache_hit_cost`` instead of the per-region scan
+    #: cost.  Changes timing, never results; ``False`` reproduces the
+    #: uncached expansion bit for bit.
+    expand_cache: bool = True
+    #: Bound on total regions held across one server's cache entries
+    #: (one region = three int64 words).
+    expand_cache_max_regions: int = 1_048_576
+    #: Largest per-period region count the cache will store as a
+    #: reusable period entry (periods beyond this fall back to exact
+    #: per-window entries).
+    expand_cache_period_regions: int = 262_144
     #: Worker threads per I/O daemon.  ``1`` (default) is the paper's
     #: single-threaded iod: requests serialize through one loop and the
     #: CPU work of read-side access-list construction stalls the
@@ -74,6 +90,10 @@ class PVFSConfig:
             raise ValueError("metadata_server out of range")
         if self.list_io_max_regions < 1:
             raise ValueError("list_io_max_regions must be positive")
+        if self.expand_cache_max_regions < 1:
+            raise ValueError("expand_cache_max_regions must be positive")
+        if self.expand_cache_period_regions < 1:
+            raise ValueError("expand_cache_period_regions must be positive")
         if self.server_threads < 1:
             raise ValueError("server_threads must be positive")
         if self.server_queue_depth < self.server_threads:

@@ -46,6 +46,15 @@ class ServerSplit:
         """Regions into the packed stream (for gather/scatter)."""
         return Regions(self.stream_pos, self.regions.lengths, _trusted=True)
 
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ServerSplit):
+            return NotImplemented
+        return (
+            self.server == other.server
+            and self.regions == other.regions
+            and np.array_equal(self.stream_pos, other.stream_pos)
+        )
+
     def __repr__(self) -> str:
         return (
             f"<ServerSplit srv={self.server} n={self.regions.count} "

@@ -36,6 +36,8 @@ class ServerPlan:
     built: int = 0
     scanned: int = 0
     proc_cost: float = 0.0
+    #: The expansion cache satisfied (part of) the plan stage.
+    cache_hit: bool = False
 
 
 class Job:

@@ -41,13 +41,10 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-import numpy as np
-
-from ..dataloops import DataloopStream
-from ..regions import Regions
 from ..simulation.resources import Resource
 from .distribution import ServerSplit
 from .errors import ProtocolError
+from .expand_cache import expand_window
 from .jobs import ServerPlan
 from .protocol import OP_CONTIG, OP_DTYPE, OP_LIST, IORequest, IOResponse
 
@@ -171,65 +168,63 @@ class DatatypeHandler(RequestHandler):
 
     Uses partial processing: the window is expanded in bounded batches,
     each immediately intersected with the local strips, so intermediate
-    offset–length storage never exceeds the batch bound.
+    offset–length storage never exceeds the batch bound.  When the
+    server runs an expansion cache (``expand_cache=True``), the cache is
+    consulted first: a hit replaces the per-region scan charge for the
+    cached portion with a flat ``server_cache_hit_cost``.
     """
 
     registry_key = OP_DTYPE
 
     def plan(self, server: "IOServer", req: IORequest) -> ServerPlan:
         costs = server.system.costs
-        split, scanned = self._expand_window(server, req)
+        split, scanned, hit = self._expand_window(server, req)
         regions = split.regions
         built = regions.count
         return ServerPlan(
             regions=regions,
             built=built,
             scanned=scanned,
-            proc_cost=self._proc_cost(costs, req, built, scanned),
+            proc_cost=self._proc_cost(costs, req, built, scanned, hit),
+            cache_hit=hit,
         )
 
-    def _proc_cost(self, costs, req, built: int, scanned: int) -> float:
+    def _proc_cost(
+        self, costs, req, built: int, scanned: int, hit: bool
+    ) -> float:
         per_region = (
             costs.server_region_write_cost
             if req.is_write
             else costs.server_region_read_cost
         )
-        return scanned * costs.server_region_scan_cost + built * per_region
+        cost = scanned * costs.server_region_scan_cost + built * per_region
+        if hit:
+            cost += costs.server_cache_hit_cost
+        return cost
 
     def _expand_window(
         self, server: "IOServer", req: IORequest
-    ) -> tuple[ServerSplit, int]:
+    ) -> tuple[ServerSplit, int, bool]:
         cfg = server.system.config
         win = req.window
         meta = server.system.metadata.lookup(req.handle)
         dist = meta.dist
-
-        stream = DataloopStream(
+        cache = server.expand_cache
+        if cache is not None:
+            return cache.expand(
+                win, dist, server.index, cfg.dataloop_batch_regions
+            )
+        split, scanned = expand_window(
             win.loop,
-            count=win.tile_count(),
-            base_offset=win.displacement,
-            first=win.first,
-            last=win.last,
-            max_regions=cfg.dataloop_batch_regions,
+            win.tile_count(),
+            win.displacement,
+            win.first,
+            win.last,
+            dist,
+            server.index,
+            cfg.dataloop_batch_regions,
         )
-        parts: list[Regions] = []
-        sposs: list[np.ndarray] = []
-        scanned = 0
-        base = 0
-        for batch in stream:
-            scanned += batch.count
-            split = dist.server_regions(batch, server.index)
-            if split.regions.count:
-                parts.append(split.regions)
-                sposs.append(split.stream_pos + base)
-            base += batch.total_bytes
-        if parts:
-            regions = Regions.concat(parts)
-            spos = np.concatenate(sposs)
-        else:
-            regions = Regions.empty()
-            spos = np.empty(0, dtype=np.int64)
-        return ServerSplit(server.index, regions, spos), scanned
+        return split, scanned, False
 
 
 @register_handler
@@ -240,8 +235,13 @@ class DirectDataloopHandler(DatatypeHandler):
 
     registry_key = OP_DTYPE + ":direct"
 
-    def _proc_cost(self, costs, req, built: int, scanned: int) -> float:
-        return scanned * costs.server_region_scan_cost
+    def _proc_cost(
+        self, costs, req, built: int, scanned: int, hit: bool
+    ) -> float:
+        cost = scanned * costs.server_region_scan_cost
+        if hit:
+            cost += costs.server_cache_hit_cost
+        return cost
 
 
 # ----------------------------------------------------------------------
@@ -344,8 +344,7 @@ class SerialScheduler:
 
         # ----- plan + storage timing (one busy period) -----
         plan = handler.plan(server, req)
-        server.accesses_built += plan.built
-        server.regions_scanned += plan.scanned
+        server.record_plan(plan)
         disk_time = server.disk.access_time(plan.regions)
         busy = plan.proc_cost + disk_time
         if busy > 0:
@@ -446,8 +445,7 @@ class ThreadedScheduler:
 
         # ----- plan (concurrent across requests, up to N threads) -----
         plan = handler.plan(server, req)
-        server.accesses_built += plan.built
-        server.regions_scanned += plan.scanned
+        server.record_plan(plan)
         if plan.proc_cost > 0:
             yield env.timeout(plan.proc_cost)
         st.plan += plan.proc_cost

@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING
 
 from ..simulation.stats import StageTimes
 from ..storage import BlockStore, DiskModel
+from .expand_cache import ExpansionCache
 from .pipeline import make_scheduler
 from .protocol import IORequest
 
@@ -40,6 +41,15 @@ class IOServer:
         self.mailbox = mailbox
         self.store = BlockStore()
         self.disk = DiskModel(system.costs)
+        cfg = system.config
+        self.expand_cache = (
+            ExpansionCache(
+                cfg.expand_cache_max_regions,
+                cfg.expand_cache_period_regions,
+            )
+            if cfg.expand_cache
+            else None
+        )
         self.scheduler = make_scheduler(self)
         # counters
         self.requests = 0
@@ -49,6 +59,20 @@ class IOServer:
         self.bytes_read = 0
         self.bytes_written = 0
         self.stage_times = StageTimes()
+
+    # ------------------------------------------------------------------
+    def record_plan(self, plan) -> None:
+        """Account a finished plan stage (counters + cache snapshot)."""
+        self.accesses_built += plan.built
+        self.regions_scanned += plan.scanned
+        cache = self.expand_cache
+        if cache is not None:
+            st = self.stage_times
+            st.cache_hits = cache.hits
+            st.cache_misses = cache.misses
+            st.cache_evictions = cache.evictions
+            st.cache_regions_held = cache.regions_held
+            st.cache_bytes_held = cache.bytes_held
 
     # ------------------------------------------------------------------
     def run(self):

@@ -37,9 +37,10 @@ class Regions:
     objects (arrays may be shared when unchanged).
     """
 
-    __slots__ = ("offsets", "lengths")
+    __slots__ = ("offsets", "lengths", "_hash")
 
     def __init__(self, offsets, lengths, *, _trusted: bool = False):
+        self._hash = None
         if _trusted:
             self.offsets = offsets
             self.lengths = lengths
@@ -153,8 +154,17 @@ class Regions:
             and np.array_equal(self.lengths, other.lengths)
         )
 
-    def __hash__(self):  # pragma: no cover - identity hashing unused
-        raise TypeError("Regions is unhashable")
+    def __hash__(self):
+        """Content hash, consistent with ``__eq__`` (memoized).
+
+        Instances are immutable by convention, so hashing over the raw
+        array bytes is safe and lets region sets key caches directly.
+        """
+        h = self._hash
+        if h is None:
+            h = hash((self.offsets.tobytes(), self.lengths.tobytes()))
+            self._hash = h
+        return h
 
     def __repr__(self) -> str:
         if self.count <= 6:

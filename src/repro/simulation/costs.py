@@ -92,6 +92,10 @@ class CostModel:
     #: Same, when the server is a data *sink* (writes) — largely hidden
     #: behind TCP buffering (paper §4.3), so much smaller.
     server_region_write_cost: float = 1.0e-6
+    #: Flat cost charged when a server's expansion cache satisfies a
+    #: dataloop expansion (hash lookup + shift), replacing the
+    #: per-region scan charge for the cached portion.
+    server_cache_hit_cost: float = 2.0e-6
 
     # --- datatype I/O ----------------------------------------------------
     #: Fixed cost of converting the MPI datatype to a dataloop at each

@@ -42,6 +42,11 @@ class StageTimes:
     requests: int = 0  #: requests fully processed
     rejected: int = 0  #: requests refused by admission control
     peak_queue: int = 0  #: deepest request queue observed
+    cache_hits: int = 0  #: expansion-cache hits
+    cache_misses: int = 0  #: expansion-cache misses (entry built)
+    cache_evictions: int = 0  #: entries evicted under the region bound
+    cache_regions_held: int = 0  #: regions currently held in the cache
+    cache_bytes_held: int = 0  #: approximate bytes of cached arrays
 
     def add(self, other: "StageTimes") -> None:
         self.decode += other.decode
@@ -51,6 +56,11 @@ class StageTimes:
         self.requests += other.requests
         self.rejected += other.rejected
         self.peak_queue = max(self.peak_queue, other.peak_queue)
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.cache_evictions += other.cache_evictions
+        self.cache_regions_held += other.cache_regions_held
+        self.cache_bytes_held += other.cache_bytes_held
 
     @property
     def busy(self) -> float:
@@ -66,6 +76,11 @@ class StageTimes:
             "requests": self.requests,
             "rejected": self.rejected,
             "peak_queue": self.peak_queue,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
+            "cache_regions_held": self.cache_regions_held,
+            "cache_bytes_held": self.cache_bytes_held,
         }
 
 
@@ -103,6 +118,11 @@ def summarize_servers(servers) -> ServerPipelineSummary:
                 requests=st.requests,
                 rejected=st.rejected,
                 peak_queue=st.peak_queue,
+                cache_hits=st.cache_hits,
+                cache_misses=st.cache_misses,
+                cache_evictions=st.cache_evictions,
+                cache_regions_held=st.cache_regions_held,
+                cache_bytes_held=st.cache_bytes_held,
             )
         )
     return summary

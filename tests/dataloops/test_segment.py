@@ -116,6 +116,69 @@ class TestBatching:
         assert a == b == t.flatten(2)
 
 
+class TestInstanceAlignedBatches:
+    """Periodicity metadata: batches cut at whole-instance boundaries."""
+
+    @pytest.mark.parametrize("t", CASES, ids=lambda t: t.combiner)
+    def test_union_matches_window(self, t):
+        dl = build_dataloop(t)
+        size = 3 * t.size
+        stream = DataloopStream(
+            dl, count=3, first=5, last=size - 3, max_regions=16
+        )
+        parts = [b for _, _, b in stream.instance_aligned_batches()]
+        got = Regions.concat(parts).coalesce()
+        assert got == reference_window(t, 3, 0, 5, size - 3)
+
+    @pytest.mark.parametrize("t", CASES, ids=lambda t: t.combiner)
+    def test_boundaries_are_instance_multiples(self, t):
+        dl = build_dataloop(t)
+        unit = dl.data_size
+        stream = DataloopStream(dl, count=4, max_regions=16)
+        prev_end = 0
+        for c0, c1, batch in stream.instance_aligned_batches():
+            assert c0 == prev_end  # contiguous instance ranges
+            assert c0 < c1
+            assert batch.total_bytes == (c1 - c0) * unit
+            prev_end = c1
+        assert prev_end == 4
+
+    def test_batch_bound_still_holds(self):
+        t = vector(30, 1, 2, INT)
+        dl = build_dataloop(t)
+        stream = DataloopStream(dl, count=8, max_regions=64)
+        for _, _, batch in stream.instance_aligned_batches():
+            assert batch.count <= max(64, dl.region_count)
+
+    def test_empty_window(self):
+        dl = build_dataloop(INT)
+        s = DataloopStream(dl, first=2, last=2)
+        assert list(s.instance_aligned_batches()) == []
+
+    @given(small_datatypes(), st.integers(1, 4), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_property_union_and_alignment(self, t, count, data):
+        size = t.size * count
+        if size == 0:
+            return
+        first = data.draw(st.integers(0, size - 1))
+        last = data.draw(st.integers(first + 1, size))
+        dl = build_dataloop(t)
+        unit = dl.data_size
+        stream = DataloopStream(
+            dl, count=count, first=first, last=last, max_regions=8
+        )
+        parts = []
+        for c0, c1, batch in stream.instance_aligned_batches():
+            # batch covers the window clamped to instances [c0, c1)
+            lo = max(first, c0 * unit)
+            hi = min(last, c1 * unit)
+            assert batch.total_bytes == hi - lo
+            parts.append(batch)
+        got = Regions.concat(parts).coalesce() if parts else Regions.empty()
+        assert got == reference_window(t, count, 0, first, last)
+
+
 class TestPropertyWindows:
     @given(
         small_datatypes(),

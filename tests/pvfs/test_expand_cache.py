@@ -1,0 +1,283 @@
+"""Unit tests of the server-side expansion cache.
+
+Equivalence at scale is covered by ``tests/test_expand_cache_property``;
+here we pin the cache mechanics: hit/miss/eviction accounting, the LRU
+bound in regions held, displacement normalization, the bypass path, the
+seam-repairing coalescer, and the counters' trip through the server
+pipeline stats.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datatypes import INT, subarray, vector
+from repro.dataloops import build_dataloop
+from repro.pvfs import PVFS, PVFSConfig
+from repro.pvfs.distribution import Distribution, ServerSplit
+from repro.pvfs.expand_cache import (
+    ExpansionCache,
+    coalesce_split,
+    expand_window,
+)
+from repro.pvfs.protocol import DataloopWindow
+from repro.regions import Regions
+from repro.simulation import Environment
+
+BLOCK = subarray([16, 16], [8, 8], [4, 4], INT)
+BATCH = 64
+
+
+def make_win(loop, displacement=0, first=0, last=None):
+    if last is None:
+        last = loop.data_size
+    return DataloopWindow(loop, displacement, first, last)
+
+
+def reference(win, dist, server):
+    split, _ = expand_window(
+        win.loop,
+        win.tile_count(),
+        win.displacement,
+        win.first,
+        win.last,
+        dist,
+        server,
+        BATCH,
+    )
+    return split
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("displacement", [0, 8, 96, 100, 1000])
+    def test_exact_path_matches_uncached(self, displacement):
+        loop = build_dataloop(BLOCK)
+        dist = Distribution(3, 32)
+        cache = ExpansionCache(1 << 16, 1 << 14)
+        win = make_win(loop, displacement)
+        for server in range(dist.n_servers):
+            want = reference(win, dist, server)
+            got, _, hit = cache.expand(win, dist, server, BATCH)
+            assert not hit
+            assert got == want
+            again, scanned, hit = cache.expand(win, dist, server, BATCH)
+            assert hit and scanned == 0
+            assert again == want
+
+    def test_periodic_path_matches_uncached(self):
+        # extent is a multiple of the stripe period: every window with a
+        # whole period inside it goes through the period entry
+        loop = build_dataloop(subarray([8, 16], [4, 8], [2, 4], INT))
+        dist = Distribution(2, 16)
+        cache = ExpansionCache(1 << 16, 1 << 14)
+        ds = loop.data_size
+        for first, last in [(0, 4 * ds), (ds // 2, 3 * ds + 5), (0, 8 * ds)]:
+            win = DataloopWindow(loop, 0, first, last)
+            for server in range(dist.n_servers):
+                want = reference(win, dist, server)
+                got, _, _ = cache.expand(win, dist, server, BATCH)
+                assert got == want, (first, last, server)
+        assert cache.hits > 0  # later windows reused the period entry
+
+    def test_displacements_share_one_entry(self):
+        loop = build_dataloop(BLOCK)
+        dist = Distribution(3, 32)
+        P = dist.strip_size * dist.n_servers
+        cache = ExpansionCache(1 << 16, 1)  # force the exact path
+        base = make_win(loop, 5)
+        first, _, _ = cache.expand(base, dist, 1, BATCH)
+        for k in (1, 2, 7):
+            win = make_win(loop, 5 + k * P)
+            want = reference(win, dist, 1)
+            got, scanned, hit = cache.expand(win, dist, 1, BATCH)
+            assert hit and scanned == 0
+            assert got == want
+            # same server share, shifted by one strip per period
+            assert np.array_equal(
+                got.regions.offsets,
+                first.regions.offsets + k * dist.strip_size,
+            )
+        assert len(cache) == 1
+
+
+class TestCounters:
+    def test_hit_miss_accounting(self):
+        loop = build_dataloop(BLOCK)
+        dist = Distribution(2, 16)
+        cache = ExpansionCache(1 << 16, 1 << 14)
+        win = make_win(loop)
+        cache.expand(win, dist, 0, BATCH)
+        assert (cache.hits, cache.misses) == (0, 1)
+        cache.expand(win, dist, 0, BATCH)
+        assert (cache.hits, cache.misses) == (1, 1)
+        cache.expand(win, dist, 1, BATCH)  # other server: its own entry
+        assert (cache.hits, cache.misses) == (1, 2)
+
+    def test_bytes_held_tracks_regions(self):
+        loop = build_dataloop(BLOCK)
+        dist = Distribution(2, 16)
+        cache = ExpansionCache(1 << 16, 1 << 14)
+        cache.expand(make_win(loop), dist, 0, BATCH)
+        held = sum(cost for _, cost in cache._lru.values())
+        assert cache.regions_held == held > 0
+        assert cache.bytes_held == held * 24
+
+    def test_bypass_paths_touch_nothing(self):
+        loop = build_dataloop(BLOCK)
+        dist = Distribution(2, 16)
+        cache = ExpansionCache(1 << 16, 1 << 14)
+        for win in [
+            make_win(loop, displacement=-4),  # negative displacement
+            make_win(loop, first=10, last=10),  # empty window
+        ]:
+            split, _, hit = cache.expand(win, dist, 0, BATCH)
+            assert not hit
+            assert split == reference(win, dist, 0)
+        assert (cache.hits, cache.misses, len(cache)) == (0, 0, 0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ExpansionCache(0, 1)
+        with pytest.raises(ValueError):
+            ExpansionCache(1, 0)
+        with pytest.raises(ValueError):
+            PVFSConfig(expand_cache_max_regions=0)
+        with pytest.raises(ValueError):
+            PVFSConfig(expand_cache_period_regions=-1)
+
+
+class TestEviction:
+    def test_eviction_under_pressure(self):
+        loop = build_dataloop(BLOCK)
+        dist = Distribution(2, 16)
+        win = make_win(loop)
+        need = reference(win, dist, 0).regions.count
+        cache = ExpansionCache(2 * need, 1)  # room for ~2 entries
+        # distinct d0 values -> distinct entries
+        for d in range(8):
+            cache.expand(make_win(loop, d), dist, 0, BATCH)
+        assert cache.evictions > 0
+        assert cache.regions_held <= cache.max_regions
+        # results stay correct under churn
+        got, _, _ = cache.expand(make_win(loop, 3), dist, 0, BATCH)
+        assert got == reference(make_win(loop, 3), dist, 0)
+
+    def test_lru_order(self):
+        def entry(n):
+            return ServerSplit(
+                0,
+                Regions.from_pairs([(i * 10, 4) for i in range(n)]),
+                np.arange(n, dtype=np.int64) * 4,
+            )
+
+        cache = ExpansionCache(10, 1)
+        cache._put("a", entry(4))
+        cache._put("b", entry(4))
+        cache._get("a")  # refresh: b becomes least recent
+        cache._put("c", entry(4))  # over bound -> evicts b
+        assert cache._get("a") is not None
+        assert cache._get("b") is None
+        assert cache._get("c") is not None
+        assert cache.evictions == 1
+        assert cache.regions_held == 8
+
+    def test_reinsert_replaces_held_count(self):
+        def entry(n):
+            return ServerSplit(
+                0,
+                Regions.from_pairs([(i * 10, 4) for i in range(n)]),
+                np.arange(n, dtype=np.int64) * 4,
+            )
+
+        cache = ExpansionCache(10, 1)
+        cache._put("a", entry(4))
+        cache._put("a", entry(6))
+        assert cache.regions_held == 6 and len(cache) == 1
+
+    def test_oversized_entry_never_inserted(self):
+        loop = build_dataloop(BLOCK)
+        dist = Distribution(2, 16)
+        cache = ExpansionCache(1, 1)
+        cache.expand(make_win(loop), dist, 0, BATCH)
+        assert len(cache) == 0 and cache.regions_held == 0
+        assert cache.evictions == 0
+
+
+class TestCoalesceSplit:
+    @pytest.mark.parametrize("t", [BLOCK, vector(9, 2, 5, INT)])
+    def test_identity_on_monolithic(self, t):
+        loop = build_dataloop(t)
+        dist = Distribution(3, 32)
+        split = reference(make_win(loop), dist, 1)
+        merged = coalesce_split(split, dist.strip_size)
+        assert merged == split
+
+    def test_repairs_seam_cut(self):
+        # one 12-byte physical run cut at byte 4 (not a strip boundary)
+        split = ServerSplit(
+            0,
+            Regions.from_pairs([(0, 4), (4, 8)]),
+            np.array([0, 4], dtype=np.int64),
+        )
+        merged = coalesce_split(split, strip_size=32)
+        assert merged.regions == Regions.single(0, 12)
+        assert merged.stream_pos.tolist() == [0]
+
+    def test_never_merges_across_strip_boundary(self):
+        split = ServerSplit(
+            0,
+            Regions.from_pairs([(24, 8), (32, 8)]),
+            np.array([0, 8], dtype=np.int64),
+        )
+        merged = coalesce_split(split, strip_size=32)
+        assert merged.regions.count == 2
+
+    def test_stream_gap_not_merged(self):
+        split = ServerSplit(
+            0,
+            Regions.from_pairs([(0, 4), (4, 4)]),
+            np.array([0, 100], dtype=np.int64),
+        )
+        merged = coalesce_split(split, strip_size=32)
+        assert merged.regions.count == 2
+
+
+class TestPipelineStats:
+    def _run(self, **cfg):
+        env = Environment()
+        fs = PVFS(
+            env, config=PVFSConfig(n_servers=2, strip_size=64, **cfg)
+        )
+        loop = build_dataloop(BLOCK)
+
+        def main(c):
+            fh = yield from c.open("/f")
+            for _ in range(4):
+                yield from c.read_dtype(fh, loop, phantom=True)
+
+        client = fs.client("cn0")
+        env.process(main(client), name="m")
+        env.run()
+        return fs
+
+    def test_counters_surface_in_summary(self):
+        fs = self._run()
+        total = fs.pipeline_summary().total
+        assert total.cache_misses == 2  # one per server
+        assert total.cache_hits == 6  # three repeats x two servers
+        assert total.cache_regions_held > 0
+        assert total.cache_bytes_held == total.cache_regions_held * 24
+        d = total.as_dict()
+        assert d["cache_hits"] == 6 and d["cache_misses"] == 2
+
+    def test_cache_off_reports_zero(self):
+        fs = self._run(expand_cache=False)
+        assert all(s.expand_cache is None for s in fs.servers)
+        total = fs.pipeline_summary().total
+        assert total.cache_hits == 0 and total.cache_misses == 0
+
+    def test_hit_charges_hit_cost(self):
+        # same workload, cache on vs off: hits replace scan time with
+        # the (cheaper) lookup charge, so simulated time drops
+        t_on = self._run().env.now
+        t_off = self._run(expand_cache=False).env.now
+        assert t_on < t_off

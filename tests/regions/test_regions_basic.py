@@ -58,9 +58,17 @@ class TestConstruction:
         assert a != c
         assert (a == 3) is NotImplemented or not (a == 3)
 
-    def test_unhashable(self):
-        with pytest.raises(TypeError):
-            hash(Regions.empty())
+    def test_content_hash(self):
+        a = Regions.from_pairs([(0, 4), (8, 4)])
+        b = Regions.from_pairs([(0, 4), (8, 4)])
+        c = Regions.from_pairs([(0, 4), (8, 5)])
+        assert hash(a) == hash(b)  # equal content -> equal hash
+        assert a == b
+        # distinct content *may* collide, but these two must not be
+        # forced equal through a dict
+        assert len({a: 1, c: 2}) == 2
+        assert {a: "x"}[b] == "x"
+        assert hash(Regions.empty()) == hash(Regions.empty())
 
     def test_getitem_slice(self):
         r = Regions.from_pairs([(0, 1), (2, 1), (4, 1)])

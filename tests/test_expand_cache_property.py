@@ -1,0 +1,101 @@
+"""Expansion-cache property test: cached == uncached, always.
+
+Hypothesis drives random dataloops, stripe layouts, displacements and
+stream windows through :class:`ExpansionCache` and asserts each
+server's :class:`ServerSplit` is identical (physical regions *and*
+stream positions) to the uncached expansion — across first touch
+(miss), re-request (hit), whole-period assembly, and eviction churn.
+This is the contract that lets the plan stage consult the cache
+blindly: a hit can never change what the storage stage moves.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.dataloops import build_dataloop
+from repro.pvfs.distribution import Distribution
+from repro.pvfs.expand_cache import ExpansionCache, expand_window
+from repro.pvfs.protocol import DataloopWindow
+
+from .conftest import small_datatypes
+
+
+def reference(win, dist, server, batch):
+    split, _ = expand_window(
+        win.loop,
+        win.tile_count(),
+        win.displacement,
+        win.first,
+        win.last,
+        dist,
+        server,
+        batch,
+    )
+    return split
+
+
+@given(
+    small_datatypes(),
+    st.integers(1, 4),  # n_servers
+    st.sampled_from([8, 16, 32, 64]),  # strip_size
+    st.integers(0, 512),  # displacement
+    st.integers(0, 6),  # tiled instances in the view
+    st.data(),
+)
+@settings(
+    max_examples=120,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_cached_equals_uncached(t, n_servers, strip, disp, tiles, data):
+    if t.size == 0 or t.size * max(tiles, 1) > 1 << 14:
+        return
+    loop = build_dataloop(t)
+    flat = t.flatten(max(tiles, 1))
+    if flat.count and int(flat.offsets.min()) + disp < 0:
+        return  # negative file offsets are rejected downstream anyway
+    size = t.size * max(tiles, 1)
+    first = data.draw(st.integers(0, size - 1), label="first")
+    last = data.draw(st.integers(first + 1, size), label="last")
+    batch = data.draw(st.sampled_from([16, 64, 65536]), label="batch")
+
+    dist = Distribution(n_servers, strip)
+    cache = ExpansionCache(1 << 16, 1 << 12)
+    win = DataloopWindow(loop, disp, first, last)
+    for server in range(n_servers):
+        want = reference(win, dist, server, batch)
+        got, _, _ = cache.expand(win, dist, server, batch)
+        assert got == want, f"first touch, server {server}"
+        again, _, _ = cache.expand(win, dist, server, batch)
+        assert again == want, f"re-request, server {server}"
+
+
+@given(
+    small_datatypes(),
+    st.integers(1, 3),
+    st.integers(0, 64),
+    st.integers(1, 24),
+    st.data(),
+)
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_correct_under_eviction_pressure(t, n_servers, disp, max_regions, data):
+    """A cache too small to keep anything still answers correctly."""
+    if t.size == 0 or t.size > 1 << 12:
+        return
+    flat = t.flatten(1)
+    if flat.count and int(flat.offsets.min()) + disp < 0:
+        return
+    dist = Distribution(n_servers, 16)
+    cache = ExpansionCache(max_regions, max(max_regions // 2, 1))
+    loop = build_dataloop(t)
+    for _ in range(6):
+        first = data.draw(st.integers(0, t.size - 1))
+        last = data.draw(st.integers(first + 1, t.size))
+        win = DataloopWindow(loop, disp, first, last)
+        server = data.draw(st.integers(0, n_servers - 1))
+        got, _, _ = cache.expand(win, dist, server, 64)
+        assert got == reference(win, dist, server, 64)
+    assert cache.regions_held <= cache.max_regions
