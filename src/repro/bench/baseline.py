@@ -15,6 +15,7 @@ import json
 import pathlib
 from typing import Optional, Sequence
 
+from ..pvfs import PVFSConfig
 from .characteristics import METHOD_ORDER
 from .runner import run_workload
 from .workloads import Block3DWorkload, FlashWorkload, TileWorkload
@@ -37,13 +38,24 @@ def _bench_cases():
 
 def collect_pipeline_baseline(
     methods: Sequence[str] = METHOD_ORDER,
+    *,
+    trace: bool = False,
 ) -> dict:
-    """Run the reduced benchmark matrix and collect results as a dict."""
+    """Run the reduced benchmark matrix and collect results as a dict.
+
+    With ``trace=True`` each run executes under ``PVFSConfig(trace=True)``
+    and the per-method entries additionally carry a ``"trace"`` block —
+    the aggregated span summary (span/trace counts, per-category seconds
+    and per-server-stage seconds from the recorded spans).  Timings are
+    bit-identical either way: the tracer observes the simulated clock
+    but never advances it.
+    """
     doc: dict = {"schema": SCHEMA, "scale": "reduced", "benchmarks": {}}
     for name, wl in _bench_cases():
         per_method: dict = {}
         for method in methods:
-            r = run_workload(wl, method, phantom=True)
+            config = PVFSConfig(trace=True) if trace else None
+            r = run_workload(wl, method, phantom=True, config=config)
             if not r.supported:
                 per_method[method] = {"supported": False, "note": r.note}
                 continue
@@ -55,6 +67,14 @@ def collect_pipeline_baseline(
                 "io_ops_per_client": r.io_ops,
                 "server_stages": r.pipeline.total.as_dict(),
             }
+            if r.trace_summary is not None:
+                s = r.trace_summary
+                per_method[method]["trace"] = {
+                    "spans": s["spans"],
+                    "traces": s["traces"],
+                    "by_category_s": s["by_category_s"],
+                    "server_stages_s": s["server_stages_s"],
+                }
         doc["benchmarks"][name] = per_method
     return doc
 
@@ -62,9 +82,11 @@ def collect_pipeline_baseline(
 def write_pipeline_baseline(
     out_dir: Optional[pathlib.Path] = None,
     methods: Sequence[str] = METHOD_ORDER,
+    *,
+    trace: bool = False,
 ) -> pathlib.Path:
     """Write ``BENCH_pipeline.json`` into ``out_dir`` (default: cwd)."""
-    doc = collect_pipeline_baseline(methods)
+    doc = collect_pipeline_baseline(methods, trace=trace)
     out_dir = out_dir or pathlib.Path(".")
     out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / "BENCH_pipeline.json"

@@ -106,8 +106,35 @@ def cmd_json(args, out):
     """Machine-readable reduced-scale baseline (BENCH_pipeline.json)."""
     from .baseline import write_pipeline_baseline
 
-    path = write_pipeline_baseline(out)
+    path = write_pipeline_baseline(out, trace=getattr(args, "trace", False))
     print(f"[saved {path}]", file=sys.stderr)
+
+
+def cmd_trace(args, out):
+    """Traced run: Chrome trace_event JSON + span summary (Perfetto)."""
+    from .report import render_trace_summary
+    from .tracecmd import run_traced, verify_trace, write_trace_artifacts
+
+    result = run_traced(args.workload, args.method)
+    if not result.supported:
+        raise SystemExit(
+            f"{args.method} unsupported for {args.workload}: {result.note}"
+        )
+    problems = verify_trace(result)
+    if problems:
+        for p in problems:
+            print(f"trace problem: {p}", file=sys.stderr)
+        raise SystemExit(f"{len(problems)} trace problem(s)")
+    print(render_trace_summary(result))
+    print()
+    if args.smoke and out is None:
+        print(
+            f"[trace smoke OK: {len(result.tracer)} spans verified]",
+            file=sys.stderr,
+        )
+        return
+    for path in write_trace_artifacts(result, out):
+        print(f"[saved {path}]", file=sys.stderr)
 
 
 def cmd_dtype_cache(args, out):
@@ -146,6 +173,7 @@ def cmd_validate(args, out):
 COMMANDS = {
     "json": cmd_json,
     "dtype-cache": cmd_dtype_cache,
+    "trace": cmd_trace,
     "validate": cmd_validate,
     "table1": cmd_table1,
     "table2": cmd_table2,
@@ -197,6 +225,28 @@ def main(argv=None) -> int:
         type=int,
         default=4,
         help="table3: client count (affects only the resent fraction)",
+    )
+    parser.add_argument(
+        "--workload",
+        choices=["tile", "block3d-read", "block3d-write", "flash"],
+        default="tile",
+        help="trace: which reduced workload to trace",
+    )
+    parser.add_argument(
+        "--method",
+        default="datatype_io",
+        help="trace: access method to trace (default: datatype_io)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="trace: verify the span set only; skip writing artifacts "
+        "unless --out is given (CI gate)",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="json: include per-method span summaries in the baseline",
     )
     args = parser.parse_args(argv)
 

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from ..trace import SERVER_STAGE_SPANS
 from .characteristics import METHOD_LABELS, CharacteristicsRow
 from .figures import FigureSeries
 
@@ -11,6 +12,7 @@ __all__ = [
     "format_mib",
     "render_characteristics",
     "render_figure",
+    "render_trace_summary",
     "PAPER_TABLE1",
     "PAPER_TABLE2",
     "PAPER_TABLE3",
@@ -86,6 +88,47 @@ def render_figure(fig: FigureSeries, unit: str = "MiB/s") -> str:
             v = fig.series[m].get(x)
             cells.append(f"{v:17.1f}" if v is not None else f"{'—':>17s}")
         lines.append(f"{x:>10d} " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def render_trace_summary(result) -> str:
+    """Render a traced run's span aggregate, paper-report style.
+
+    Takes a :class:`~repro.bench.runner.RunResult` from a run with
+    ``PVFSConfig(trace=True)``.  The second block cross-checks the
+    per-stage span sums against the scheduler's own ``StageTimes``
+    accounting — the two are independent code paths, so a nonzero delta
+    would mean the trace is lying about where server time went.
+    """
+    s = result.trace_summary
+    if s is None:
+        raise ValueError("run was not traced (trace_summary is None)")
+    title = (
+        f"Trace summary: {result.workload} / {result.method} "
+        f"({result.n_clients} clients, {s['spans']} spans, "
+        f"{s['traces']} traces, {result.elapsed:.6f} s simulated)"
+    )
+    header = f"{'span':>16s} {'count':>7s} {'seconds':>12s}"
+    lines = [title, "=" * len(title), header, "-" * len(header)]
+    for name in sorted(s["by_name"]):
+        entry = s["by_name"][name]
+        lines.append(
+            f"{name:>16s} {entry['count']:>7d} {entry['seconds']:>12.6f}"
+        )
+    lines.append("")
+    st = result.pipeline.total
+    header2 = (
+        f"{'server stage':>16s} {'span sum':>12s} "
+        f"{'StageTimes':>12s} {'delta':>10s}"
+    )
+    lines += [header2, "-" * len(header2)]
+    for span_name, stage in SERVER_STAGE_SPANS.items():
+        span_sum = s["server_stages_s"].get(stage, 0.0)
+        stage_sum = getattr(st, stage)
+        lines.append(
+            f"{stage:>16s} {span_sum:>12.6f} {stage_sum:>12.6f} "
+            f"{span_sum - stage_sum:>10.1e}"
+        )
     return "\n".join(lines)
 
 

@@ -12,6 +12,7 @@ from ..pvfs import PVFS, PVFSConfig
 from ..pvfs.errors import LockUnsupported
 from ..simulation import CostModel, Environment, summarize_network
 from ..simulation.stats import NetworkSummary, ServerPipelineSummary
+from ..trace import TraceRecorder, summarize_trace
 
 __all__ = ["RunResult", "run_workload"]
 
@@ -35,6 +36,10 @@ class RunResult:
     server_stats: dict = field(default_factory=dict)
     network: Optional[NetworkSummary] = None
     pipeline: Optional[ServerPipelineSummary] = None  #: per-stage server time
+    #: Span recorder + aggregate summary; populated only when the run
+    #: used ``PVFSConfig(trace=True)``.
+    tracer: Optional[TraceRecorder] = None
+    trace_summary: Optional[dict] = None
     note: str = ""
 
     @property
@@ -170,6 +175,9 @@ def run_workload(
     result.server_stats = fs.total_server_stats()
     result.network = summarize_network(fs.net, result.elapsed)
     result.pipeline = fs.pipeline_summary()
+    if fs.tracer.enabled:
+        result.tracer = fs.tracer
+        result.trace_summary = summarize_trace(fs.tracer)
     return result
 
 

@@ -72,6 +72,11 @@ class IOOperation:
         self.first, self.last = file.view.stream_window(
             offset_etypes, self.nbytes
         )
+        #: Root trace span of this operation (``repro.trace``); set by
+        #: :meth:`File._run` when tracing is enabled.  Methods pass it
+        #: as ``trace=op.span`` into the PVFS client so every request
+        #: of the operation joins one trace.
+        self.span = None
         self._mem_regions: Optional[Regions] = None
         self._file_regions: Optional[Regions] = None
 
@@ -294,6 +299,18 @@ class File:
 
     def _run(self, m, offset, memtype, count, buf, is_write):
         op = IOOperation(self, offset, memtype, count, buf, is_write)
+        tracer = self.ctx.fs.system.tracer
+        if tracer.enabled:
+            # one fresh trace per MPI-IO call: the root of everything
+            # the operation triggers down the stack
+            op.span = tracer.begin(
+                "mpiio.write" if is_write else "mpiio.read",
+                "mpiio",
+                f"rank{self.ctx.rank}",
+                method=m.name,
+                collective=m.collective,
+                nbytes=op.nbytes,
+            )
         before_ops = self.ctx.fs.counters.io_ops
         before_bytes = (
             self.ctx.fs.counters.bytes_read
@@ -314,4 +331,9 @@ class File:
         c.request_desc_bytes += (
             self.ctx.fs.counters.request_desc_bytes - before_desc
         )
+        if op.span is not None:
+            tracer.end(
+                op.span,
+                io_ops=self.ctx.fs.counters.io_ops - before_ops,
+            )
         del resent_before  # resent_bytes is updated by the method itself

@@ -28,6 +28,7 @@ def dtype_read(op):
         first=op.first,
         last=op.last,
         phantom=op.phantom,
+        trace=op.span,
     )
     yield op.mem_cost()
     op.unpack_mem(stream)
@@ -44,6 +45,7 @@ def dtype_write(op):
         first=op.first,
         last=op.last,
         data=stream,
+        trace=op.span,
     )
 
 

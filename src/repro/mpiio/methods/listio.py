@@ -75,10 +75,12 @@ def listio_read(op):
         from ...pvfs.protocol import OP_LIST
 
         stream = yield from op.fs.read_sequence(
-            op.fh, pieces, OP_LIST, phantom=op.phantom
+            op.fh, pieces, OP_LIST, phantom=op.phantom, trace=op.span
         )
     else:
-        stream = yield from op.fs.read_list(op.fh, ops, phantom=op.phantom)
+        stream = yield from op.fs.read_list(
+            op.fh, ops, phantom=op.phantom, trace=op.span
+        )
     yield op.mem_cost()
     op.unpack_mem(stream)
 
@@ -91,9 +93,11 @@ def listio_write(op):
     if pieces is not None:
         from ...pvfs.protocol import OP_LIST
 
-        yield from op.fs.write_sequence(op.fh, pieces, OP_LIST, data=stream)
+        yield from op.fs.write_sequence(
+            op.fh, pieces, OP_LIST, data=stream, trace=op.span
+        )
     else:
-        yield from op.fs.write_list(op.fh, ops, stream)
+        yield from op.fs.write_list(op.fh, ops, stream, trace=op.span)
 
 
 register_method(

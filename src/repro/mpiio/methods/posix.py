@@ -33,7 +33,9 @@ def _pieces(op):
 def posix_read(op):
     regions, flattened = _pieces(op)
     yield op.charge_flatten(flattened)
-    stream = yield from op.fs.read_posix(op.fh, regions, phantom=op.phantom)
+    stream = yield from op.fs.read_posix(
+        op.fh, regions, phantom=op.phantom, trace=op.span
+    )
     yield op.mem_cost()
     op.unpack_mem(stream)
 
@@ -43,7 +45,7 @@ def posix_write(op):
     yield op.charge_flatten(flattened)
     yield op.mem_cost()
     stream = op.pack_mem()
-    yield from op.fs.write_posix(op.fh, regions, stream)
+    yield from op.fs.write_posix(op.fh, regions, stream, trace=op.span)
 
 
 register_method(

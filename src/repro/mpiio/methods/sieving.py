@@ -36,7 +36,9 @@ def sieving_read(op):
     out = None if op.phantom else np.zeros(op.nbytes, dtype=np.uint8)
     bufsize = op.hints.ind_rd_buffer_size
     for lo, hi in _extent_chunks(regions, bufsize):
-        chunk = yield from op.fs.read(op.fh, lo, hi - lo, phantom=op.phantom)
+        chunk = yield from op.fs.read(
+            op.fh, lo, hi - lo, phantom=op.phantom, trace=op.span
+        )
         clipped, spos = regions.clip_with_stream(lo, hi)
         # extraction from the sieve buffer into the packed stream
         yield op.charge(
@@ -69,7 +71,7 @@ def sieving_write(op):
         token = yield from locks.acquire(op.fh.handle, lo, hi, op.fs.name)
         try:
             chunk = yield from op.fs.read(
-                op.fh, lo, hi - lo, phantom=op.phantom
+                op.fh, lo, hi - lo, phantom=op.phantom, trace=op.span
             )
             clipped, spos = regions.clip_with_stream(lo, hi)
             yield op.charge(
@@ -82,7 +84,7 @@ def sieving_write(op):
                 ).gather(stream)
                 clipped.shift(-lo).scatter(chunk, piece)
             yield from op.fs.write(
-                op.fh, lo, data=chunk, nbytes=hi - lo
+                op.fh, lo, data=chunk, nbytes=hi - lo, trace=op.span
             )
         finally:
             locks.release(token)

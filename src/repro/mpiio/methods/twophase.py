@@ -257,7 +257,8 @@ def _aggregate_write(op, plan, my_agg_index, rnd, received, agg_buf):
     chunk = None
     if holes > 0:
         chunk = yield from op.fs.read(
-            op.fh, span_lo, span_hi - span_lo, phantom=op.phantom
+            op.fh, span_lo, span_hi - span_lo, phantom=op.phantom,
+            trace=op.span,
         )
     elif not op.phantom:
         chunk = agg_buf[: span_hi - span_lo]
@@ -271,6 +272,7 @@ def _aggregate_write(op, plan, my_agg_index, rnd, received, agg_buf):
         span_lo,
         data=None if op.phantom else chunk,
         nbytes=span_hi - span_lo,
+        trace=op.span,
     )
 
 
@@ -297,13 +299,14 @@ def _sparse_write(op, pieces, all_regions):
             hi - lo,
         )
         yield from op.fs.write_dtype(
-            op.fh, loop, displacement=lo, last=merged.total_bytes, data=stream
+            op.fh, loop, displacement=lo, last=merged.total_bytes,
+            data=stream, trace=op.span,
         )
         return
     # list I/O, respecting the request bound
     limit = op.fs.system.config.list_io_max_regions
     ops = list(merged.split_chunks(limit))
-    yield from op.fs.write_list(op.fh, ops, stream)
+    yield from op.fs.write_list(op.fh, ops, stream, trace=op.span)
 
 
 def _aggregate_read(op, plan, my_agg_index, rnd, expected, others):
@@ -316,7 +319,7 @@ def _aggregate_read(op, plan, my_agg_index, rnd, expected, others):
     ).normalized()
     span_lo, span_hi = needed.extent()
     chunk = yield from op.fs.read(
-        op.fh, span_lo, span_hi - span_lo, phantom=op.phantom
+        op.fh, span_lo, span_hi - span_lo, phantom=op.phantom, trace=op.span
     )
     yield op.charge(
         needed.count * costs.mem_region_cost

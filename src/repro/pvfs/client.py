@@ -183,7 +183,10 @@ class PVFSClient:
     # ------------------------------------------------------------------
     # contiguous (POSIX-style) access
     # ------------------------------------------------------------------
-    def read(self, fh: FileHandle, offset: int, nbytes: int, phantom=False):
+    def read(
+        self, fh: FileHandle, offset: int, nbytes: int, phantom=False,
+        trace=None,
+    ):
         """Read one contiguous logical range; returns the byte stream."""
         stream = yield from self._simple_ops(
             fh,
@@ -192,10 +195,14 @@ class PVFSClient:
             is_write=False,
             data=None,
             phantom=phantom,
+            trace=trace,
         )
         return stream
 
-    def write(self, fh, offset: int, data=None, nbytes: Optional[int] = None):
+    def write(
+        self, fh, offset: int, data=None, nbytes: Optional[int] = None,
+        trace=None,
+    ):
         """Write one contiguous range (``data=None`` for phantom writes)."""
         if data is not None:
             data = np.asarray(data).view(np.uint8).reshape(-1)
@@ -209,44 +216,50 @@ class PVFSClient:
             is_write=True,
             data=data,
             phantom=data is None,
+            trace=trace,
         )
 
     # ------------------------------------------------------------------
     # one-operation-per-region sequences (POSIX I/O; also the list I/O
     # degenerate case of single-region operations)
     # ------------------------------------------------------------------
-    def read_posix(self, fh, regions: Regions, phantom=False):
+    def read_posix(self, fh, regions: Regions, phantom=False, trace=None):
         """Issue one synchronous contiguous read per region, in order."""
         stream = yield from self._sequence(
-            fh, regions, OP_CONTIG, is_write=False, data=None, phantom=phantom
+            fh, regions, OP_CONTIG, is_write=False, data=None,
+            phantom=phantom, trace=trace,
         )
         return stream
 
-    def write_posix(self, fh, regions: Regions, data=None):
+    def write_posix(self, fh, regions: Regions, data=None, trace=None):
         """Issue one synchronous contiguous write per region, in order."""
         if data is not None:
             data = np.asarray(data).view(np.uint8).reshape(-1)
         yield from self._sequence(
             fh, regions, OP_CONTIG, is_write=True, data=data,
-            phantom=data is None,
+            phantom=data is None, trace=trace,
         )
 
-    def read_sequence(self, fh, regions, op_kind, phantom=False):
+    def read_sequence(self, fh, regions, op_kind, phantom=False, trace=None):
         """One operation per region with explicit kind (list I/O fast path)."""
         stream = yield from self._sequence(
-            fh, regions, op_kind, is_write=False, data=None, phantom=phantom
+            fh, regions, op_kind, is_write=False, data=None,
+            phantom=phantom, trace=trace,
         )
         return stream
 
-    def write_sequence(self, fh, regions, op_kind, data=None):
+    def write_sequence(self, fh, regions, op_kind, data=None, trace=None):
         if data is not None:
             data = np.asarray(data).view(np.uint8).reshape(-1)
         yield from self._sequence(
             fh, regions, op_kind, is_write=True, data=data,
-            phantom=data is None,
+            phantom=data is None, trace=trace,
         )
 
-    def _sequence(self, fh, regions: Regions, op_kind, *, is_write, data, phantom):
+    def _sequence(
+        self, fh, regions: Regions, op_kind, *, is_write, data, phantom,
+        trace=None,
+    ):
         """Vectorized synchronous one-op-per-region sequence.
 
         Runs of consecutive operations whose region lies within a single
@@ -262,6 +275,19 @@ class PVFSClient:
             return None if (is_write or phantom) else np.zeros(0, np.uint8)
         if data is not None and data.size != regions.total_bytes:
             raise ValueError("data stream does not match regions")
+        tracer = self.system.tracer
+        op_span = None
+        if tracer.enabled:
+            op_span = tracer.begin(
+                f"pvfs.{op_kind}",
+                "client",
+                self.name,
+                trace_id=trace.trace_id if trace is not None else -1,
+                parent=trace,
+                is_write=is_write,
+                ops=n,
+                nbytes=regions.total_bytes,
+            )
 
         S = fh.dist.strip_size
         nserv = fh.dist.n_servers
@@ -303,6 +329,7 @@ class PVFSClient:
                         is_write=is_write,
                         data=pdata,
                         phantom=phantom,
+                        trace=op_span,
                     )
                     if out is not None and st is not None:
                         out[sl] = st
@@ -332,7 +359,9 @@ class PVFSClient:
                 client=self.name,
                 server=int(srv[a]),
             )
-            responses = yield from self._io_round([(req, None, merged)])
+            responses = yield from self._io_round(
+                [(req, None, merged)], op_span
+            )
             resp = responses[req.req_id]
             if out is not None and resp.payload is not None:
                 out[sl] = resp.payload
@@ -341,12 +370,14 @@ class PVFSClient:
             self.counters.bytes_written += regions.total_bytes - handled_generic
         else:
             self.counters.bytes_read += regions.total_bytes - handled_generic
+        if op_span is not None:
+            tracer.end(op_span)
         return out
 
     # ------------------------------------------------------------------
     # list I/O
     # ------------------------------------------------------------------
-    def read_list(self, fh, ops: Sequence[Regions], phantom=False):
+    def read_list(self, fh, ops: Sequence[Regions], phantom=False, trace=None):
         """List I/O read: each element is one operation's file regions.
 
         Returns the packed stream of all operations, concatenated in
@@ -354,17 +385,19 @@ class PVFSClient:
         """
         self._check_listio(ops)
         stream = yield from self._simple_ops(
-            fh, ops, OP_LIST, is_write=False, data=None, phantom=phantom
+            fh, ops, OP_LIST, is_write=False, data=None, phantom=phantom,
+            trace=trace,
         )
         return stream
 
-    def write_list(self, fh, ops: Sequence[Regions], data=None):
+    def write_list(self, fh, ops: Sequence[Regions], data=None, trace=None):
         """List I/O write of the packed stream ``data`` (None = phantom)."""
         self._check_listio(ops)
         if data is not None:
             data = np.asarray(data).view(np.uint8).reshape(-1)
         yield from self._simple_ops(
-            fh, ops, OP_LIST, is_write=True, data=data, phantom=data is None
+            fh, ops, OP_LIST, is_write=True, data=data, phantom=data is None,
+            trace=trace,
         )
 
     def _check_listio(self, ops: Sequence[Regions]) -> None:
@@ -387,10 +420,12 @@ class PVFSClient:
         first: int = 0,
         last: Optional[int] = None,
         phantom: bool = False,
+        trace=None,
     ):
         """Datatype I/O read of stream bytes [first, last) of the tiled loop."""
         stream = yield from self._dtype_op(
-            fh, loop, displacement, first, last, False, None, phantom
+            fh, loop, displacement, first, last, False, None, phantom,
+            trace=trace,
         )
         return stream
 
@@ -402,12 +437,14 @@ class PVFSClient:
         first: int = 0,
         last: Optional[int] = None,
         data=None,
+        trace=None,
     ):
         """Datatype I/O write; ``data`` is the packed stream (None=phantom)."""
         if data is not None:
             data = np.asarray(data).view(np.uint8).reshape(-1)
         yield from self._dtype_op(
-            fh, loop, displacement, first, last, True, data, data is None
+            fh, loop, displacement, first, last, True, data, data is None,
+            trace=trace,
         )
 
     # ------------------------------------------------------------------
@@ -417,7 +454,9 @@ class PVFSClient:
         self._next_req += 1
         return self._next_req
 
-    def _simple_ops(self, fh, ops, op_kind, *, is_write, data, phantom):
+    def _simple_ops(
+        self, fh, ops, op_kind, *, is_write, data, phantom, trace=None
+    ):
         """Run a sequence of synchronous contig/list operations."""
         env = self.system.env
         costs = self.system.costs
@@ -428,6 +467,19 @@ class PVFSClient:
             raise ValueError(
                 f"data stream of {data.size} bytes vs operations totalling "
                 f"{total_bytes} bytes"
+            )
+        tracer = self.system.tracer
+        op_span = None
+        if tracer.enabled:
+            op_span = tracer.begin(
+                f"pvfs.{op_kind}",
+                "client",
+                self.name,
+                trace_id=trace.trace_id if trace is not None else -1,
+                parent=trace,
+                is_write=is_write,
+                ops=len(ops),
+                nbytes=total_bytes,
             )
         out = (
             None
@@ -503,7 +555,7 @@ class PVFSClient:
                 )
                 requests.append((req, sposa, merged))
 
-            responses = yield from self._io_round(requests)
+            responses = yield from self._io_round(requests, op_span)
             if out is not None:
                 for req, sposa, merged in requests:
                     resp = responses[req.req_id]
@@ -517,10 +569,13 @@ class PVFSClient:
             self.counters.bytes_written += total_bytes
         else:
             self.counters.bytes_read += total_bytes
+        if op_span is not None:
+            tracer.end(op_span)
         return out
 
     def _dtype_op(
-        self, fh, loop, displacement, first, last, is_write, data, phantom
+        self, fh, loop, displacement, first, last, is_write, data, phantom,
+        trace=None,
     ):
         env = self.system.env
         costs = self.system.costs
@@ -533,6 +588,19 @@ class PVFSClient:
         if data is not None and data.size != nbytes:
             raise ValueError(
                 f"data stream of {data.size} bytes vs window of {nbytes}"
+            )
+        tracer = self.system.tracer
+        op_span = None
+        if tracer.enabled:
+            op_span = tracer.begin(
+                "pvfs.dtype",
+                "client",
+                self.name,
+                trace_id=trace.trace_id if trace is not None else -1,
+                parent=trace,
+                is_write=is_write,
+                nbytes=nbytes,
+                dataloop=loop.fingerprint().hex(),
             )
         self.counters.io_ops += 1
 
@@ -618,7 +686,8 @@ class PVFSClient:
             requests.append((req, job))
 
         responses = yield from self._io_round(
-            [(req, job.stream_pos, job.accesses) for req, job in requests]
+            [(req, job.stream_pos, job.accesses) for req, job in requests],
+            op_span,
         )
         if out is not None:
             for req, job in requests:
@@ -632,35 +701,66 @@ class PVFSClient:
             self.counters.bytes_written += nbytes
         else:
             self.counters.bytes_read += nbytes
+        if op_span is not None:
+            tracer.end(op_span)
         return out
 
-    def _io_round(self, requests):
+    def _io_round(self, requests, span=None):
         """Send all requests, then collect every response.
 
         A server running with a bounded admission queue may reject a
         request outright (``IOResponse.rejected``); the client backs off
         ``server_retry_backoff`` seconds and resends until admitted —
         the backpressure loop of the multi-threaded server model.
+
+        When tracing, each request gets its own ``rpc`` round-trip span
+        under ``span`` (the operation span); the request carries the
+        trace id and the rpc span id so server-side and network spans
+        join the same trace.
         """
         env = self.system.env
         cfg = self.system.config
+        tracer = self.system.tracer
+        rpc_spans: dict[int, object] = {}
+        if tracer.enabled and span is not None:
+            for req, _spos, _regions in requests:
+                rpc = tracer.begin(
+                    "rpc",
+                    "client",
+                    self.name,
+                    trace_id=span.trace_id,
+                    parent=span,
+                    server=req.server,
+                    op_kind=req.op_kind,
+                    desc_bytes=req.descriptor_bytes(self.system.costs),
+                )
+                req.trace_id = span.trace_id
+                req.trace_parent = rpc.span_id
+                rpc_spans[req.req_id] = rpc
         responses: dict[int, IOResponse] = {}
         for req, _spos, _regions in requests:
             yield from self._send_io(req)
         for req, _spos, _regions in requests:
+            rpc = rpc_spans.get(req.req_id)
             while True:
                 resp: IOResponse = yield from self._await_response(
                     req.req_id
                 )
                 if resp.rejected:
                     self.counters.retries += 1
+                    if rpc is not None:
+                        rpc.attrs["retries"] = rpc.attrs.get("retries", 0) + 1
                     if cfg.server_retry_backoff > 0:
                         yield env.timeout(cfg.server_retry_backoff)
                     yield from self._send_io(req)
                     continue
                 if resp.error:
+                    if rpc is not None:
+                        tracer.end(rpc, error=resp.error)
                     raise PVFSError(resp.error)
                 responses[resp.req_id] = resp
+                if rpc is not None:
+                    tracer.end(rpc, nbytes=resp.nbytes)
                 break
         return responses
 

@@ -74,6 +74,16 @@ class PVFSConfig:
     server_queue_depth: int = 64
     #: Client back-off before resending a rejected request (seconds).
     server_retry_backoff: float = 2.0e-3
+    #: End-to-end request tracing (``repro.trace``): every I/O job gets
+    #: a trace id that follows it from the MPI-IO entry point through
+    #: the client, across the simulated network, and through every
+    #: server pipeline stage; spans collect in the file system's
+    #: :class:`~repro.trace.TraceRecorder` for Chrome/Perfetto export.
+    #: Recording is purely observational — enabling it never moves the
+    #: simulated clock, so timings and counters are bit-identical with
+    #: tracing on or off.  Off by default (zero overhead: every
+    #: instrumentation site is a single attribute test).
+    trace: bool = False
     #: Whether byte-range locking is available (PVFS: no).
     supports_locking: bool = False
     #: Collapse runs of consecutive synchronous requests from one

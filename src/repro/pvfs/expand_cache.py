@@ -39,6 +39,27 @@ logical contiguity.
 
 The cache-off path (:func:`expand_window` with ``aligned=False``) is
 the pre-cache expansion, bit for bit.
+
+Map to the paper and the rest of the stack:
+
+* :func:`expand_window` — the paper's §3.2 partial-processing loop
+  (bounded-batch dataloop expansion) fused with the per-server striping
+  intersection; what ``server_region_scan_cost`` meters.
+* :class:`ExpansionCache` — the memo over that expansion; an
+  optimization *on top of* the paper's design exploiting its insight
+  that the dataloop (the file view) is reused across iterations while
+  only the window moves.  Owned per server, consulted by
+  ``DatatypeHandler.plan`` (``repro.pvfs.pipeline``).
+* :func:`coalesce_split` — the seam repair making piecewise assembly
+  indistinguishable from monolithic expansion.
+
+Cost attribution is exclusive: a hit charges the flat
+``server_cache_hit_cost`` to the pipeline's *cache* stage while the
+plan stage keeps only real construction work — ``StageTimes.cache``
+and the ``server.cache`` trace span (``docs/observability.md``) make
+the saved scan time directly visible in ``repro-bench json``/``trace``.
+Hit/miss/eviction/bytes-held counters surface through
+``PVFS.pipeline_summary()``.
 """
 
 from __future__ import annotations

@@ -36,6 +36,12 @@ class ServerPlan:
     built: int = 0
     scanned: int = 0
     proc_cost: float = 0.0
+    #: CPU seconds of expansion-cache lookup/assembly on a hit.  Kept
+    #: separate from ``proc_cost`` so stage accounting is exclusive:
+    #: ``proc_cost`` flows into ``StageTimes.plan`` and ``cache_cost``
+    #: into ``StageTimes.cache`` — the same second is never charged to
+    #: both.  The scheduler's total busy charge is their sum.
+    cache_cost: float = 0.0
     #: The expansion cache satisfied (part of) the plan stage.
     cache_hit: bool = False
 

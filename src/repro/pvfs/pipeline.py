@@ -181,26 +181,24 @@ class DatatypeHandler(RequestHandler):
         split, scanned, hit = self._expand_window(server, req)
         regions = split.regions
         built = regions.count
+        # exclusive attribution: construction cost goes to the plan
+        # stage, the flat hit charge to the cache stage — never both
         return ServerPlan(
             regions=regions,
             built=built,
             scanned=scanned,
-            proc_cost=self._proc_cost(costs, req, built, scanned, hit),
+            proc_cost=self._proc_cost(costs, req, built, scanned),
+            cache_cost=costs.server_cache_hit_cost if hit else 0.0,
             cache_hit=hit,
         )
 
-    def _proc_cost(
-        self, costs, req, built: int, scanned: int, hit: bool
-    ) -> float:
+    def _proc_cost(self, costs, req, built: int, scanned: int) -> float:
         per_region = (
             costs.server_region_write_cost
             if req.is_write
             else costs.server_region_read_cost
         )
-        cost = scanned * costs.server_region_scan_cost + built * per_region
-        if hit:
-            cost += costs.server_cache_hit_cost
-        return cost
+        return scanned * costs.server_region_scan_cost + built * per_region
 
     def _expand_window(
         self, server: "IOServer", req: IORequest
@@ -235,13 +233,8 @@ class DirectDataloopHandler(DatatypeHandler):
 
     registry_key = OP_DTYPE + ":direct"
 
-    def _proc_cost(
-        self, costs, req, built: int, scanned: int, hit: bool
-    ) -> float:
-        cost = scanned * costs.server_region_scan_cost
-        if hit:
-            cost += costs.server_cache_hit_cost
-        return cost
+    def _proc_cost(self, costs, req, built: int, scanned: int) -> float:
+        return scanned * costs.server_region_scan_cost
 
 
 # ----------------------------------------------------------------------
@@ -276,6 +269,8 @@ def send_error(server: "IOServer", req: IORequest, exc: Exception):
     """Report a failed request back to the client (daemon survives)."""
     costs = server.system.costs
     resp = IOResponse(req.req_id, error=f"{type(exc).__name__}: {exc}")
+    resp.trace_id = req.trace_id
+    resp.trace_parent = req.trace_parent
     yield from server.system.net.send(
         server.mailbox,
         req.reply_to,
@@ -285,10 +280,17 @@ def send_error(server: "IOServer", req: IORequest, exc: Exception):
     )
 
 
-def _respond(server: "IOServer", req: IORequest, resp: IOResponse):
+def _respond(server: "IOServer", req: IORequest, resp: IOResponse, parent=None):
     """Respond stage: non-blocking handoff to the socket layer; the
     reply drains while the daemon services the next request."""
     env = server.system.env
+    tracer = server.system.tracer
+    traced = tracer.enabled and req.trace_id >= 0
+    if traced:
+        # the response's net.xfer span parents under the client's RPC
+        # span (the transfer outlives this respond span)
+        resp.trace_id = req.trace_id
+        resp.trace_parent = req.trace_parent
     t0 = env.now
     yield from server.system.net.send(
         server.mailbox,
@@ -298,6 +300,65 @@ def _respond(server: "IOServer", req: IORequest, resp: IOResponse):
         pace=False,
     )
     server.stage_times.respond += env.now - t0
+    if traced:
+        tracer.add(
+            "server.respond",
+            "server",
+            f"iod{server.index}",
+            t0,
+            env.now,
+            trace_id=req.trace_id,
+            parent=parent,
+            nbytes=resp.nbytes if not req.is_write else 0,
+        )
+
+
+def _record_busy_spans(tracer, server, req, span, plan, t1, disk_time):
+    """Record the plan/cache/storage sub-spans of one busy period.
+
+    The stages are laid end-to-end from ``t1`` in charge order (plan
+    construction, cache hit charge, disk service), so the per-stage
+    span sums reconcile exactly with :class:`StageTimes` even under the
+    serial scheduler's single combined timeout.
+    """
+    actor = f"iod{server.index}"
+    t2 = t1 + plan.proc_cost
+    attrs = {"built": plan.built, "scanned": plan.scanned}
+    if req.window is not None:
+        attrs["dataloop"] = req.window.loop.fingerprint().hex()
+    tracer.add(
+        "server.plan",
+        "server",
+        actor,
+        t1,
+        t2,
+        trace_id=req.trace_id,
+        parent=span,
+        **attrs,
+    )
+    t3 = t2 + plan.cache_cost
+    if plan.cache_cost > 0 or plan.cache_hit:
+        tracer.add(
+            "server.cache",
+            "server",
+            actor,
+            t2,
+            t3,
+            trace_id=req.trace_id,
+            parent=span,
+            hit=plan.cache_hit,
+        )
+    tracer.add(
+        "server.storage",
+        "server",
+        actor,
+        t3,
+        t3 + disk_time,
+        trace_id=req.trace_id,
+        parent=span,
+        nbytes=plan.regions.total_bytes,
+        regions=plan.regions.count,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -317,21 +378,42 @@ class SerialScheduler:
     def __init__(self, server: "IOServer"):
         self.server = server
 
-    def submit(self, req: IORequest):
+    def submit(self, req: IORequest, queue_wait: float = 0.0):
         server = self.server
         st = server.stage_times
         queued = len(server.mailbox) + 1  # waiting + the one in hand
         if queued > st.peak_queue:
             st.peak_queue = queued
+        tracer = server.system.tracer
+        span = None
+        if tracer.enabled and req.trace_id >= 0:
+            span = tracer.begin(
+                "server.request",
+                "server",
+                f"iod{server.index}",
+                trace_id=req.trace_id,
+                parent=req.trace_parent,
+                op_kind=req.op_kind,
+                is_write=req.is_write,
+                op_count=req.op_count,
+                queue_wait=queue_wait,
+            )
         try:
-            yield from self._serve(req)
+            yield from self._serve(req, span)
         except Exception as exc:  # noqa: BLE001 - daemon must survive
+            if span is not None:
+                span.attrs["error"] = f"{type(exc).__name__}: {exc}"
             yield from send_error(server, req, exc)
+        finally:
+            if span is not None:
+                tracer.end(span)
 
-    def _serve(self, req: IORequest):
+    def _serve(self, req: IORequest, span=None):
         server = self.server
         env = server.system.env
         st = server.stage_times
+        tracer = server.system.tracer
+        traced = span is not None
 
         # ----- decode -----
         handler = resolve_handler(req.op_kind, server.system.config)
@@ -341,12 +423,23 @@ class SerialScheduler:
         t0 = env.now
         yield env.timeout(handler.decode(server, req))
         st.decode += env.now - t0
+        if traced:
+            tracer.add(
+                "server.decode",
+                "server",
+                f"iod{server.index}",
+                t0,
+                env.now,
+                trace_id=req.trace_id,
+                parent=span,
+            )
 
         # ----- plan + storage timing (one busy period) -----
         plan = handler.plan(server, req)
         server.record_plan(plan)
         disk_time = server.disk.access_time(plan.regions)
-        busy = plan.proc_cost + disk_time
+        busy = plan.proc_cost + plan.cache_cost + disk_time
+        t1 = env.now
         if busy > 0:
             if not req.is_write:
                 # The iod is single-threaded: while its CPU builds
@@ -359,11 +452,14 @@ class SerialScheduler:
                 node.tx_busy_until = max(node.tx_busy_until, env.now) + busy
             yield env.timeout(busy)
         st.plan += plan.proc_cost
+        st.cache += plan.cache_cost
         st.storage += disk_time
+        if traced:
+            _record_busy_spans(tracer, server, req, span, plan, t1, disk_time)
 
         # ----- storage data movement + respond -----
         resp = move_data(server, req, plan)
-        yield from _respond(server, req, resp)
+        yield from _respond(server, req, resp, span)
 
 
 class ThreadedScheduler:
@@ -392,14 +488,29 @@ class ThreadedScheduler:
         )
         self.inflight = 0
 
-    def submit(self, req: IORequest):
+    def submit(self, req: IORequest, queue_wait: float = 0.0):
         server = self.server
         cfg = server.system.config
         st = server.stage_times
+        tracer = server.system.tracer
         if self.inflight >= cfg.server_queue_depth:
             # admission control: explicit rejection, client will retry
             st.rejected += 1
             resp = IOResponse(req.req_id, rejected=True)
+            if tracer.enabled and req.trace_id >= 0:
+                resp.trace_id = req.trace_id
+                resp.trace_parent = req.trace_parent
+                now = server.system.env.now
+                tracer.add(
+                    "server.reject",
+                    "server",
+                    f"iod{server.index}",
+                    now,
+                    now,
+                    trace_id=req.trace_id,
+                    parent=req.trace_parent,
+                    inflight=self.inflight,
+                )
             yield from server.system.net.send(
                 server.mailbox,
                 req.reply_to,
@@ -411,28 +522,53 @@ class ThreadedScheduler:
         self.inflight += 1
         if self.inflight > st.peak_queue:
             st.peak_queue = self.inflight
+        span = None
+        if tracer.enabled and req.trace_id >= 0:
+            span = tracer.begin(
+                "server.request",
+                "server",
+                f"iod{server.index}",
+                trace_id=req.trace_id,
+                parent=req.trace_parent,
+                op_kind=req.op_kind,
+                is_write=req.is_write,
+                op_count=req.op_count,
+                queue_wait=queue_wait,
+            )
         server.system.env.process(
-            self._worker(req),
+            self._worker(req, span),
             name=f"iod{server.index}.req{req.req_id}",
         )
 
-    def _worker(self, req: IORequest):
+    def _worker(self, req: IORequest, span=None):
         server = self.server
+        tracer = server.system.tracer
         try:
+            t0 = server.system.env.now
             yield self.threads.request()
+            if span is not None:
+                # admission-to-thread wait under the bounded pool
+                span.attrs["thread_wait"] = server.system.env.now - t0
             try:
-                yield from self._serve(req)
+                yield from self._serve(req, span)
             finally:
                 self.threads.release()
         except Exception as exc:  # noqa: BLE001 - daemon must survive
+            if span is not None:
+                span.attrs["error"] = f"{type(exc).__name__}: {exc}"
             yield from send_error(server, req, exc)
         finally:
             self.inflight -= 1
+            if span is not None:
+                tracer.end(span)
 
-    def _serve(self, req: IORequest):
+    def _serve(self, req: IORequest, span=None):
         server = self.server
         env = server.system.env
         st = server.stage_times
+        tracer = server.system.tracer
+        traced = span is not None
+        actor = f"iod{server.index}"
 
         # ----- decode -----
         handler = resolve_handler(req.op_kind, server.system.config)
@@ -442,26 +578,78 @@ class ThreadedScheduler:
         t0 = env.now
         yield env.timeout(handler.decode(server, req))
         st.decode += env.now - t0
+        if traced:
+            tracer.add(
+                "server.decode",
+                "server",
+                actor,
+                t0,
+                env.now,
+                trace_id=req.trace_id,
+                parent=span,
+            )
 
         # ----- plan (concurrent across requests, up to N threads) -----
         plan = handler.plan(server, req)
         server.record_plan(plan)
-        if plan.proc_cost > 0:
-            yield env.timeout(plan.proc_cost)
+        t1 = env.now
+        cpu = plan.proc_cost + plan.cache_cost
+        if cpu > 0:
+            yield env.timeout(cpu)
         st.plan += plan.proc_cost
+        st.cache += plan.cache_cost
+        if traced:
+            t2 = t1 + plan.proc_cost
+            attrs = {"built": plan.built, "scanned": plan.scanned}
+            if req.window is not None:
+                attrs["dataloop"] = req.window.loop.fingerprint().hex()
+            tracer.add(
+                "server.plan",
+                "server",
+                actor,
+                t1,
+                t2,
+                trace_id=req.trace_id,
+                parent=span,
+                **attrs,
+            )
+            if plan.cache_cost > 0 or plan.cache_hit:
+                tracer.add(
+                    "server.cache",
+                    "server",
+                    actor,
+                    t2,
+                    t2 + plan.cache_cost,
+                    trace_id=req.trace_id,
+                    parent=span,
+                    hit=plan.cache_hit,
+                )
 
         # ----- storage (one disk arm per server) -----
         yield self.disk_arm.request()
         try:
+            t3 = env.now
             disk_time = server.disk.access_time(plan.regions)
             if disk_time > 0:
                 yield env.timeout(disk_time)
         finally:
             self.disk_arm.release()
         st.storage += disk_time
+        if traced:
+            tracer.add(
+                "server.storage",
+                "server",
+                actor,
+                t3,
+                t3 + disk_time,
+                trace_id=req.trace_id,
+                parent=span,
+                nbytes=plan.regions.total_bytes,
+                regions=plan.regions.count,
+            )
 
         resp = move_data(server, req, plan)
-        yield from _respond(server, req, resp)
+        yield from _respond(server, req, resp, span)
 
 
 def make_scheduler(server: "IOServer"):

@@ -115,6 +115,12 @@ class IORequest:
     reply_to: Any = None
     client: str = ""
     server: int = -1  # destination I/O server index
+    #: Tracing (``PVFSConfig.trace``): the I/O job's trace id and the
+    #: client-side RPC span id this request belongs to.  Plain ints so
+    #: the linkage survives the trip across the simulated wire; ``-1``
+    #: (the default) means the request is untraced.
+    trace_id: int = -1
+    trace_parent: int = -1
 
     def validate(self) -> None:
         """Check structural well-formedness (the server's decode stage).
@@ -169,6 +175,11 @@ class IOResponse:
     #: and the request was not processed — the client should back off
     #: and resend (only possible with ``server_threads > 1``).
     rejected: bool = False
+    #: Tracing: copied from the request so the response's network
+    #: transfer span joins the same trace, parented under the client's
+    #: RPC span (which provably covers the transfer interval).
+    trace_id: int = -1
+    trace_parent: int = -1
 
     def wire_bytes(self, costs, is_write: bool) -> int:
         return costs.header_bytes + (0 if is_write else self.nbytes)

@@ -93,7 +93,10 @@ class IOServer:
                 )
                 continue
             req: IORequest = payload
+            queue_wait = 0.0
+            if self.system.tracer.enabled:
+                queue_wait = env.now - msg.t_enqueued
             # the scheduler owns error containment: a malformed or
             # failing request becomes an error response, never a dead
             # daemon
-            yield from self.scheduler.submit(req)
+            yield from self.scheduler.submit(req, queue_wait)

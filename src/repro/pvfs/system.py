@@ -21,6 +21,7 @@ from ..simulation import (
     ServerPipelineSummary,
     summarize_servers,
 )
+from ..trace import NULL_TRACER, TraceRecorder
 from .client import PVFSClient
 from .config import PVFSConfig
 from .locks import LockManager
@@ -49,6 +50,10 @@ class PVFS:
         self.config = config
         self.costs = costs or CostModel()
         self.net = net or Network(env, self.costs)
+        #: Span recorder (``repro.trace``); live only with
+        #: ``config.trace``, otherwise the zero-overhead singleton.
+        self.tracer = TraceRecorder(env) if config.trace else NULL_TRACER
+        self.net.tracer = self.tracer
 
         self.servers: list[IOServer] = []
         for i in range(config.n_servers):

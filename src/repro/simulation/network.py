@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
+from ..trace import NULL_TRACER
 from .costs import CostModel
 from .engine import Environment, Event
 from .resources import Store
@@ -65,13 +66,17 @@ class Node:
 class Message:
     """A delivered message."""
 
-    __slots__ = ("sender", "payload", "nbytes", "tag")
+    __slots__ = ("sender", "payload", "nbytes", "tag", "t_enqueued")
 
     def __init__(self, sender: "Mailbox", payload: Any, nbytes: int, tag: Any):
         self.sender = sender
         self.payload = payload
         self.nbytes = nbytes
         self.tag = tag
+        #: Simulated instant the message entered the destination
+        #: mailbox (set at delivery); receivers derive queue wait as
+        #: ``env.now - t_enqueued`` at dequeue time.
+        self.t_enqueued = 0.0
 
     def __repr__(self) -> str:
         return f"<Message {self.nbytes}B tag={self.tag!r} from {self.sender.name}>"
@@ -106,6 +111,9 @@ class Network:
         # global statistics
         self.message_count = 0
         self.bytes_transferred = 0
+        #: Span recorder (``repro.trace``); the disabled singleton by
+        #: default — ``PVFS`` swaps in a live one when tracing is on.
+        self.tracer = NULL_TRACER
 
     # ------------------------------------------------------------------
     def node(self, name: str) -> Node:
@@ -180,9 +188,24 @@ class Network:
         self.message_count += 1
         if src.node is dst.node:
             # loopback: no wire, no latency
+            msg.t_enqueued = env.now
             dst._store.put(msg)
             return
         end = self._reserve(src.node, dst.node, nbytes, bandwidth)
+        tracer = self.tracer
+        if tracer.enabled and getattr(payload, "trace_id", -1) >= 0:
+            tracer.add(
+                "net.xfer",
+                "net",
+                "net",
+                env.now,
+                end,
+                trace_id=payload.trace_id,
+                parent=payload.trace_parent,
+                src=src.node.name,
+                dst=dst.node.name,
+                nbytes=nbytes,
+            )
         deliver_delay = (end - env.now) + lat
         _deliver_later(env, dst, msg, deliver_delay)
         if pace and end > env.now:
@@ -209,7 +232,13 @@ class Network:
 
 def _deliver_later(env: Environment, dst: Mailbox, msg: Message, delay: float):
     if delay <= 0:
+        msg.t_enqueued = env.now
         dst._store.put(msg)
         return
     ev = env.timeout(delay)
-    ev.add_callback(lambda _ev: dst._store.put(msg))
+
+    def _put(_ev):
+        msg.t_enqueued = env.now
+        dst._store.put(msg)
+
+    ev.add_callback(_put)

@@ -3,7 +3,25 @@
 Used by the benchmark runner to explain *why* a configuration performs
 as it does — which resource saturated (client NICs, server NICs, server
 CPU time, disks) — the same analysis the paper walks through verbally
-in §4.
+in §4.  Class map:
+
+* :class:`StageTimes` — one I/O daemon's per-stage CPU/disk accounting
+  for the decode → plan → storage → respond pipeline, the server-side
+  cost decomposition of paper §3.2/§4.3 (request processing, access
+  construction, disk service).  The ``cache`` stage isolates the
+  expansion-cache hit cost so ``plan`` reports only genuine access-list
+  construction; hit/miss/eviction counters ride along.
+* :class:`ServerPipelineSummary` / :func:`summarize_servers` — the
+  aggregate across servers; ``dominant_stage()`` names where server
+  time went, the verbal argument of §4.3.
+* :class:`NodeUtilization` / :class:`NetworkSummary` /
+  :func:`summarize_network` — per-NIC busy fractions and the
+  ``bottleneck()`` guess, reproducing the §4 saturated-resource
+  analysis (client NICs for few clients, server side at scale).
+
+When tracing is enabled (``PVFSConfig.trace``), the per-stage span sums
+in ``repro.trace`` reconcile exactly with :class:`StageTimes` — the two
+accounting systems are cross-checked by ``repro-bench trace``.
 """
 
 from __future__ import annotations
@@ -37,6 +55,7 @@ class StageTimes:
 
     decode: float = 0.0  #: request parse/dispatch seconds
     plan: float = 0.0  #: access-list construction / dataloop expansion
+    cache: float = 0.0  #: expansion-cache hit lookup/assembly seconds
     storage: float = 0.0  #: disk positioning + transfer seconds
     respond: float = 0.0  #: response handoff seconds (send CPU)
     requests: int = 0  #: requests fully processed
@@ -51,6 +70,7 @@ class StageTimes:
     def add(self, other: "StageTimes") -> None:
         self.decode += other.decode
         self.plan += other.plan
+        self.cache += other.cache
         self.storage += other.storage
         self.respond += other.respond
         self.requests += other.requests
@@ -65,12 +85,15 @@ class StageTimes:
     @property
     def busy(self) -> float:
         """Total seconds the pipeline charged across all stages."""
-        return self.decode + self.plan + self.storage + self.respond
+        return (
+            self.decode + self.plan + self.cache + self.storage + self.respond
+        )
 
     def as_dict(self) -> dict:
         return {
             "decode_s": self.decode,
             "plan_s": self.plan,
+            "cache_s": self.cache,
             "storage_s": self.storage,
             "respond_s": self.respond,
             "requests": self.requests,
@@ -96,6 +119,7 @@ class ServerPipelineSummary:
         stages = {
             "decode": self.total.decode,
             "plan": self.total.plan,
+            "cache": self.total.cache,
             "storage": self.total.storage,
             "respond": self.total.respond,
         }
@@ -113,6 +137,7 @@ def summarize_servers(servers) -> ServerPipelineSummary:
             StageTimes(
                 decode=st.decode,
                 plan=st.plan,
+                cache=st.cache,
                 storage=st.storage,
                 respond=st.respond,
                 requests=st.requests,

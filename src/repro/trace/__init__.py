@@ -1,0 +1,32 @@
+"""``repro.trace`` — end-to-end request tracing on the simulated clock.
+
+Enable with ``PVFSConfig(trace=True)``; the file system then owns a
+:class:`TraceRecorder` and every I/O job gets a trace id that follows it
+from the MPI-IO entry point through the client, across the simulated
+network, and through all four server pipeline stages.  Export with
+:func:`chrome_trace` (Perfetto-loadable) or :func:`summarize_trace`
+(aggregates for ``repro-bench json``).  See ``docs/observability.md``.
+"""
+
+from .core import NULL_TRACER, NullTracer, Span, TraceRecorder
+from .export import (
+    SERVER_STAGE_SPANS,
+    chrome_trace,
+    reconcile,
+    summarize_trace,
+    validate_chrome,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Span",
+    "TraceRecorder",
+    "NullTracer",
+    "NULL_TRACER",
+    "chrome_trace",
+    "write_chrome_trace",
+    "summarize_trace",
+    "validate_chrome",
+    "reconcile",
+    "SERVER_STAGE_SPANS",
+]

@@ -1,0 +1,233 @@
+"""Span recording: the mechanism behind ``repro.trace``.
+
+A *span* is one named interval on the simulated clock, attributed to an
+*actor* (a client, a rank, an I/O daemon, or the network), belonging to
+one *trace* (one end-to-end I/O job), and optionally nested under a
+parent span.  The :class:`TraceRecorder` hands out trace and span ids
+and stores finished spans; it never advances the simulated clock or
+allocates simulation events, so recording is pure observation — a
+traced run and an untraced run of the same workload produce bit-for-bit
+identical timings and counters.
+
+Zero overhead when disabled: every instrumentation site in the client,
+the network model and the server pipeline guards on ``tracer.enabled``,
+and the disabled singleton (:data:`NULL_TRACER`) makes that a single
+attribute test.  No span objects, ids, or attribute dicts are created
+on the disabled path.
+
+Span lifecycle::
+
+    span = tracer.begin("server.plan", "server", "iod3",
+                        trace_id=req.trace_id, parent=req.trace_parent,
+                        op_kind="dtype")
+    ...                       # simulated time passes
+    tracer.end(span, built=plan.built)
+
+For intervals whose boundaries are known analytically (the network's
+reservation model computes a transfer's completion time up front, and
+the serial scheduler charges plan + storage as one combined timeout),
+:meth:`TraceRecorder.add` records a closed span directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+__all__ = ["Span", "TraceRecorder", "NullTracer", "NULL_TRACER"]
+
+
+class Span:
+    """One recorded interval of simulated time.
+
+    ``end`` is ``None`` while the span is open; the exporter refuses
+    unfinished spans so leaks show up in tests, not in Perfetto.
+    """
+
+    __slots__ = (
+        "name",
+        "cat",
+        "actor",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "start",
+        "end",
+        "attrs",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        cat: str,
+        actor: str,
+        trace_id: int,
+        span_id: int,
+        parent_id: int,
+        start: float,
+        end: Optional[float] = None,
+        attrs: Optional[dict] = None,
+    ):
+        self.name = name
+        self.cat = cat
+        self.actor = actor
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end = end
+        self.attrs = attrs if attrs is not None else {}
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ValueError(f"span {self.name!r} not finished")
+        return self.end - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        end = "…" if self.end is None else f"{self.end:.9f}"
+        return (
+            f"<Span {self.name} #{self.span_id} trace={self.trace_id} "
+            f"[{self.start:.9f}, {end}] {self.actor}>"
+        )
+
+
+def _parent_id(parent: Union["Span", int, None]) -> int:
+    if parent is None:
+        return -1
+    if isinstance(parent, Span):
+        return parent.span_id
+    return int(parent)
+
+
+class TraceRecorder:
+    """Collects spans for one simulation run.
+
+    Owns the id spaces: trace ids (one per end-to-end I/O job) and span
+    ids (globally unique within the run, so parent links survive the
+    trip across the simulated wire as plain ints on the request).
+    """
+
+    enabled = True
+
+    def __init__(self, env):
+        self.env = env
+        self.spans: list[Span] = []
+        self._next_trace = 0
+        self._next_span = 0
+
+    # ------------------------------------------------------------------
+    def new_trace(self) -> int:
+        """Allocate a fresh trace id (one end-to-end I/O job)."""
+        self._next_trace += 1
+        return self._next_trace
+
+    def begin(
+        self,
+        name: str,
+        cat: str,
+        actor: str,
+        trace_id: int = -1,
+        parent: Union[Span, int, None] = None,
+        **attrs,
+    ) -> Span:
+        """Open a span starting now; close it with :meth:`end`."""
+        if trace_id < 0:
+            trace_id = self.new_trace()
+        self._next_span += 1
+        span = Span(
+            name,
+            cat,
+            actor,
+            trace_id,
+            self._next_span,
+            _parent_id(parent),
+            self.env.now,
+            None,
+            attrs,
+        )
+        self.spans.append(span)
+        return span
+
+    def end(self, span: Span, **attrs) -> Span:
+        """Close a span at the current simulated instant."""
+        span.end = self.env.now
+        if attrs:
+            span.attrs.update(attrs)
+        return span
+
+    def add(
+        self,
+        name: str,
+        cat: str,
+        actor: str,
+        start: float,
+        end: float,
+        trace_id: int = -1,
+        parent: Union[Span, int, None] = None,
+        **attrs,
+    ) -> Span:
+        """Record a closed span with explicit boundaries."""
+        if trace_id < 0:
+            trace_id = self.new_trace()
+        self._next_span += 1
+        span = Span(
+            name,
+            cat,
+            actor,
+            trace_id,
+            self._next_span,
+            _parent_id(parent),
+            start,
+            end,
+            attrs,
+        )
+        self.spans.append(span)
+        return span
+
+    # ------------------------------------------------------------------
+    def open_spans(self) -> list[Span]:
+        """Spans begun but never ended (should be empty after a run)."""
+        return [s for s in self.spans if s.end is None]
+
+    def traces(self) -> set[int]:
+        return {s.trace_id for s in self.spans}
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    Instrumentation sites guard with ``if tracer.enabled:`` so none of
+    these methods run on hot paths; they exist so unguarded incidental
+    uses (e.g. passing ``trace=None`` through) stay harmless.
+    """
+
+    enabled = False
+    spans: tuple = ()
+
+    def new_trace(self) -> int:
+        return -1
+
+    def begin(self, *args, **kwargs) -> None:
+        return None
+
+    def end(self, span, **kwargs) -> None:
+        return None
+
+    def add(self, *args, **kwargs) -> None:
+        return None
+
+    def open_spans(self) -> list:
+        return []
+
+    def traces(self) -> set:
+        return set()
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: Shared disabled singleton; ``PVFS`` uses it when ``config.trace`` is off.
+NULL_TRACER = NullTracer()

@@ -1,0 +1,94 @@
+"""Exclusive cache/plan attribution (regression for the double count).
+
+Before this fix a datatype request that hit the expansion cache charged
+``server_cache_hit_cost`` *inside* the plan stage's processing cost, so
+``repro-bench json`` reported the hit both as plan seconds and as a
+cache hit.  Now the flat hit charge lives in its own ``cache`` stage:
+plan seconds cover construction work only, and the scheduler's total
+busy time (hence every simulated timing) is unchanged.
+"""
+
+import pytest
+
+from repro.dataloops import build_dataloop
+from repro.datatypes import INT, subarray
+from repro.pvfs import PVFS, PVFSConfig
+from repro.simulation import Environment
+from repro.trace import reconcile
+
+BLOCK = subarray([16, 16], [8, 8], [4, 4], INT)
+
+
+def run_fs(trace=True, **cfg):
+    env = Environment()
+    fs = PVFS(
+        env,
+        config=PVFSConfig(n_servers=2, strip_size=64, trace=trace, **cfg),
+    )
+    loop = build_dataloop(BLOCK)
+
+    def main(c):
+        fh = yield from c.open("/f")
+        for _ in range(4):
+            yield from c.read_dtype(fh, loop, phantom=True)
+
+    env.process(main(fs.client("cn0")), name="m")
+    env.run()
+    return fs
+
+
+def test_hits_charge_cache_stage_not_plan():
+    fs = run_fs()
+    total = fs.pipeline_summary().total
+    costs = fs.costs
+    assert total.cache_hits == 6  # three repeats x two servers
+    # the flat hit charge lands in the cache stage, nowhere else
+    assert total.cache == pytest.approx(
+        total.cache_hits * costs.server_cache_hit_cost
+    )
+    # plan spans recompute exactly from their own attrs: scan + build
+    # work only — the hit charge never leaks back in (the double count)
+    for s in fs.tracer.spans:
+        if s.name != "server.plan":
+            continue
+        expected = (
+            s.attrs["scanned"] * costs.server_region_scan_cost
+            + s.attrs["built"] * costs.server_region_read_cost
+        )
+        assert s.duration == pytest.approx(expected, abs=1e-15)
+
+
+def test_cache_spans_flag_hits():
+    fs = run_fs()
+    costs = fs.costs
+    cache_spans = [s for s in fs.tracer.spans if s.name == "server.cache"]
+    assert len(cache_spans) == 6
+    for s in cache_spans:
+        assert s.attrs["hit"] is True
+        assert s.duration == pytest.approx(costs.server_cache_hit_cost)
+
+
+def test_attribution_shift_never_moves_the_clock():
+    # splitting plan/cache re-labels seconds; totals and finish time
+    # must be exactly what they were
+    fs = run_fs()
+    total = fs.pipeline_summary().total
+    assert total.busy == pytest.approx(
+        total.decode + total.plan + total.cache + total.storage
+        + total.respond
+    )
+    assert run_fs(trace=False).env.now == fs.env.now
+
+
+def test_stage_times_dict_exposes_cache_seconds():
+    d = run_fs().pipeline_summary().total.as_dict()
+    assert "cache_s" in d and d["cache_s"] > 0
+    assert d["plan_s"] > 0
+
+
+def test_cache_off_has_empty_cache_stage():
+    fs = run_fs(expand_cache=False)
+    total = fs.pipeline_summary().total
+    assert total.cache == 0.0
+    assert [s for s in fs.tracer.spans if s.name == "server.cache"] == []
+    assert reconcile(fs.tracer, total) == []

@@ -1,0 +1,95 @@
+"""Unit tests of the span recorder (``repro.trace.core``)."""
+
+import pytest
+
+from repro.trace import NULL_TRACER, NullTracer, Span, TraceRecorder
+
+
+class FakeEnv:
+    """Just enough of an Environment: a settable clock."""
+
+    def __init__(self):
+        self.now = 0.0
+
+
+class TestRecorder:
+    def test_begin_end_records_interval(self):
+        env = FakeEnv()
+        rec = TraceRecorder(env)
+        env.now = 1.5
+        span = rec.begin("pvfs.read", "client", "client0", op_kind="contig")
+        assert span.start == 1.5 and span.end is None
+        assert span.attrs == {"op_kind": "contig"}
+        env.now = 2.0
+        rec.end(span, nbytes=64)
+        assert span.end == 2.0
+        assert span.duration == 0.5
+        assert span.attrs == {"op_kind": "contig", "nbytes": 64}
+        assert rec.spans == [span]
+
+    def test_trace_ids_allocated_when_negative(self):
+        rec = TraceRecorder(FakeEnv())
+        a = rec.begin("a", "c", "x")
+        b = rec.begin("b", "c", "x")
+        c = rec.begin("c", "c", "x", trace_id=a.trace_id)
+        assert a.trace_id != b.trace_id
+        assert c.trace_id == a.trace_id
+        assert rec.traces() == {a.trace_id, b.trace_id}
+
+    def test_span_ids_unique_and_parent_links(self):
+        rec = TraceRecorder(FakeEnv())
+        parent = rec.begin("p", "c", "x")
+        by_span = rec.begin("c1", "c", "x", parent=parent)
+        by_id = rec.begin("c2", "c", "x", parent=parent.span_id)
+        root = rec.begin("r", "c", "x")
+        ids = [s.span_id for s in rec.spans]
+        assert len(set(ids)) == len(ids)
+        assert by_span.parent_id == parent.span_id
+        assert by_id.parent_id == parent.span_id
+        assert root.parent_id == -1
+
+    def test_add_records_closed_span(self):
+        env = FakeEnv()
+        rec = TraceRecorder(env)
+        env.now = 9.0  # clock irrelevant: boundaries are explicit
+        s = rec.add("net.xfer", "net", "net", 1.0, 2.5, trace_id=7, nbytes=10)
+        assert (s.start, s.end, s.trace_id) == (1.0, 2.5, 7)
+        assert s.attrs == {"nbytes": 10}
+        assert rec.open_spans() == []
+
+    def test_open_spans_and_len(self):
+        rec = TraceRecorder(FakeEnv())
+        a = rec.begin("a", "c", "x")
+        b = rec.begin("b", "c", "x")
+        rec.end(b)
+        assert rec.open_spans() == [a]
+        assert len(rec) == 2
+
+    def test_duration_raises_while_open(self):
+        rec = TraceRecorder(FakeEnv())
+        span = rec.begin("a", "c", "x")
+        with pytest.raises(ValueError):
+            span.duration
+
+    def test_span_slots_reject_new_attributes(self):
+        s = Span("a", "c", "x", 1, 1, -1, 0.0)
+        with pytest.raises(AttributeError):
+            s.color = "red"
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        nt = NullTracer()
+        assert nt.enabled is False
+        assert nt.begin("a", "c", "x") is None
+        assert nt.end(None) is None
+        assert nt.add("a", "c", "x", 0.0, 1.0) is None
+        assert nt.new_trace() == -1
+        assert nt.open_spans() == []
+        assert nt.traces() == set()
+        assert len(nt) == 0
+        assert nt.spans == ()
+
+    def test_singleton_shared(self):
+        assert isinstance(NULL_TRACER, NullTracer)
+        assert NULL_TRACER.enabled is False

@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Documentation checks: markdown links + doctests in fenced examples.
+
+Two passes over every tracked ``*.md`` file:
+
+1. **Link check** — every relative markdown link (``[text](target)``)
+   must point at a file or directory that exists (anchors are stripped;
+   ``http(s)``/``mailto`` targets are skipped — CI must not depend on
+   the network).
+2. **Doctest check** — every fenced ```` ```python ```` block that
+   contains ``>>>`` prompts is run through :mod:`doctest` with
+   ``src/`` importable, so the examples in the docs stay executable as
+   the code evolves.
+
+Exit status is nonzero iff any check fails.  Run locally with::
+
+    PYTHONPATH=src python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import doctest
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: [text](target) — excluding images and in-page anchors.
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"^```(\w*)\s*$")
+SKIP_SCHEMES = ("http://", "https://", "mailto:")
+SKIP_DIRS = {".git", ".github", "__pycache__", ".claude", "node_modules"}
+
+
+def markdown_files() -> list[pathlib.Path]:
+    files = []
+    for path in sorted(ROOT.rglob("*.md")):
+        if not SKIP_DIRS.intersection(p.name for p in path.parents):
+            files.append(path)
+    return files
+
+
+def check_links(path: pathlib.Path) -> list[str]:
+    problems = []
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        for target in LINK_RE.findall(line):
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            resolved = (path.parent / rel).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(ROOT)}:{lineno}: broken link "
+                    f"-> {target}"
+                )
+    return problems
+
+
+def python_examples(path: pathlib.Path) -> list[tuple[int, str]]:
+    """(start_line, source) for each fenced python block with doctests."""
+    blocks = []
+    lines = path.read_text().splitlines()
+    in_block, lang, start, buf = False, "", 0, []
+    for lineno, line in enumerate(lines, 1):
+        fence = FENCE_RE.match(line)
+        if fence and not in_block:
+            in_block, lang, start, buf = True, fence.group(1), lineno, []
+        elif line.strip() == "```" and in_block:
+            if lang == "python" and any(">>>" in ln for ln in buf):
+                blocks.append((start, "\n".join(buf) + "\n"))
+            in_block = False
+        elif in_block:
+            buf.append(line)
+    return blocks
+
+
+def check_doctests(path: pathlib.Path) -> list[str]:
+    problems = []
+    runner = doctest.DocTestRunner(
+        optionflags=doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE,
+        verbose=False,
+    )
+    parser = doctest.DocTestParser()
+    for start, source in python_examples(path):
+        name = f"{path.relative_to(ROOT)}:{start}"
+        test = parser.get_doctest(source, {}, name, str(path), start)
+        out: list[str] = []
+        runner.run(test, out=out.append)
+        if runner.failures:
+            problems.append(f"{name}: doctest failed\n" + "".join(out))
+            runner = doctest.DocTestRunner(  # reset failure counter
+                optionflags=doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE,
+                verbose=False,
+            )
+    return problems
+
+
+def main() -> int:
+    sys.path.insert(0, str(ROOT / "src"))
+    files = markdown_files()
+    problems: list[str] = []
+    examples = 0
+    for path in files:
+        problems.extend(check_links(path))
+        examples += len(python_examples(path))
+        problems.extend(check_doctests(path))
+    for p in problems:
+        print(p, file=sys.stderr)
+    print(
+        f"checked {len(files)} markdown files, {examples} python "
+        f"example(s): {len(problems)} problem(s)"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
