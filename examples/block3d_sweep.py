@@ -32,7 +32,7 @@ def main():
             print(
                 f"{wl.n_clients:>8d} {method:>14s} "
                 f"{r.bandwidth_mbps:8.1f} {util:14.0%} "
-                f"{r.network.bottleneck():>16s}"
+                f"{r.network.bottleneck(r.pipeline.total):>16s}"
             )
     print()
     print(line_chart(fig))

@@ -137,6 +137,61 @@ def cmd_trace(args, out):
         print(f"[saved {path}]", file=sys.stderr)
 
 
+def cmd_metrics(args, out):
+    """Metered run: OpenMetrics text + metrics/imbalance JSON."""
+    from .metricscmd import (
+        check_bit_identity,
+        run_metered,
+        verify_metrics,
+        write_metrics_artifacts,
+    )
+    from .report import render_metrics_summary
+
+    result = run_metered(args.workload, args.method)
+    if not result.supported:
+        raise SystemExit(
+            f"{args.method} unsupported for {args.workload}: {result.note}"
+        )
+    problems = verify_metrics(result)
+    if args.smoke:
+        problems.extend(check_bit_identity(args.workload, args.method))
+    if problems:
+        for p in problems:
+            print(f"metrics problem: {p}", file=sys.stderr)
+        raise SystemExit(f"{len(problems)} metrics problem(s)")
+    print(render_metrics_summary(result))
+    print()
+    if args.smoke and out is None:
+        print(
+            f"[metrics smoke OK: {result.metrics.samples} samples, "
+            "reconciled, bit-identical]",
+            file=sys.stderr,
+        )
+        return
+    for path in write_metrics_artifacts(result, out):
+        print(f"[saved {path}]", file=sys.stderr)
+
+
+def cmd_compare(args, out):
+    """Regression gate: fresh run vs checked-in BENCH_*.json baselines."""
+    from .compare import DEFAULT_TOLERANCE, compare_against_dir, render_compare
+
+    baseline = args.baseline or pathlib.Path("results")
+    tolerance = (
+        args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+    )
+    deltas, notes = compare_against_dir(baseline, tolerance)
+    for note in notes:
+        print(f"[{note}]", file=sys.stderr)
+    _emit(render_compare(deltas, tolerance), out, "compare.txt")
+    regressions = [d for d in deltas if d.regression]
+    if regressions:
+        raise SystemExit(
+            f"{len(regressions)} regression(s) beyond ±{tolerance:.1%} "
+            f"vs {baseline}"
+        )
+
+
 def cmd_dtype_cache(args, out):
     """Expansion-cache speedup benchmark (BENCH_dtype_cache.json)."""
     from .dtype_cache import write_dtype_cache_bench
@@ -174,6 +229,8 @@ COMMANDS = {
     "json": cmd_json,
     "dtype-cache": cmd_dtype_cache,
     "trace": cmd_trace,
+    "metrics": cmd_metrics,
+    "compare": cmd_compare,
     "validate": cmd_validate,
     "table1": cmd_table1,
     "table2": cmd_table2,
@@ -230,18 +287,32 @@ def main(argv=None) -> int:
         "--workload",
         choices=["tile", "block3d-read", "block3d-write", "flash"],
         default="tile",
-        help="trace: which reduced workload to trace",
+        help="trace/metrics: which reduced workload to run",
     )
     parser.add_argument(
         "--method",
         default="datatype_io",
-        help="trace: access method to trace (default: datatype_io)",
+        help="trace/metrics: access method (default: datatype_io)",
     )
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="trace: verify the span set only; skip writing artifacts "
-        "unless --out is given (CI gate)",
+        help="trace/metrics: verify only (metrics also replays with "
+        "collection off and requires bit-identical timing); skip "
+        "writing artifacts unless --out is given (CI gate)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=pathlib.Path,
+        default=None,
+        help="compare: directory holding BENCH_*.json baselines "
+        "(default: results/)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="compare: relative tolerance band (default: 0.05 = ±5%%)",
     )
     parser.add_argument(
         "--trace",
@@ -250,7 +321,13 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    targets = list(COMMANDS) if args.what == "all" else [args.what]
+    # ``all`` regenerates artifacts; ``compare`` judges them against a
+    # baseline directory, so it only runs when asked for by name
+    targets = (
+        [n for n in COMMANDS if n != "compare"]
+        if args.what == "all"
+        else [args.what]
+    )
     for name in targets:
         t0 = time.time()
         COMMANDS[name](args, args.out)

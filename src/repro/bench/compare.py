@@ -1,0 +1,265 @@
+"""``repro-bench compare``: perf-regression gate against baselines.
+
+Re-collects the machine-independent benchmark documents
+(``BENCH_pipeline.json`` via :func:`repro.bench.baseline
+.collect_pipeline_baseline`, ``BENCH_dtype_cache.json`` via
+:func:`repro.bench.dtype_cache.collect`) and diffs them against the
+checked-in copies under ``results/``.  Every compared quantity is a
+*simulated* figure (bandwidth, simulated elapsed seconds, server stage
+busy time, cache hit rate), so the gate is deterministic: any change
+beyond the tolerance band is a real behavioural change of the code, not
+machine noise.  Wall-clock fields in the baselines (``wall_s``,
+``speedup``) are machine-dependent and deliberately ignored.
+
+A *regression* is a change in the harmful direction beyond the relative
+tolerance — bandwidth or hit rate down, elapsed or server busy time up,
+or a previously-supported (benchmark, method) pair disappearing.
+Improvements beyond tolerance are reported but do not fail the gate
+(refresh the baseline to lock them in).  Exit status is the CI
+contract: nonzero iff at least one regression.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "Delta",
+    "compare_dtype_cache_docs",
+    "compare_pipeline_docs",
+    "compare_against_dir",
+    "render_compare",
+]
+
+#: Relative tolerance band (±5 %) applied to every compared metric.
+DEFAULT_TOLERANCE = 0.05
+
+#: Stage-seconds keys of ``server_stages`` summed into server busy time.
+_STAGE_KEYS = ("decode_s", "plan_s", "cache_s", "storage_s", "respond_s")
+
+
+@dataclass
+class Delta:
+    """One compared metric: baseline vs current, and the verdict."""
+
+    source: str  #: e.g. "pipeline/fig8_tile_read/datatype_io"
+    metric: str  #: e.g. "mbps"
+    baseline: Optional[float]
+    current: Optional[float]
+    change: float  #: signed relative change, (cur - base) / base
+    regression: bool
+    note: str = ""
+
+    @property
+    def improved(self) -> bool:
+        return not self.regression and self.note == "improved"
+
+
+def _rel(base: float, cur: float) -> float:
+    if base == 0:
+        return 0.0 if cur == base else float("inf") * (1 if cur > 0 else -1)
+    return (cur - base) / base
+
+
+def _diff(
+    deltas: list[Delta],
+    source: str,
+    metric: str,
+    base: float,
+    cur: float,
+    tolerance: float,
+    *,
+    higher_is_better: bool,
+) -> None:
+    change = _rel(base, cur)
+    harmful = -change if higher_is_better else change
+    regression = harmful > tolerance
+    note = ""
+    if regression:
+        note = "regression"
+    elif -harmful > tolerance:
+        note = "improved"
+    deltas.append(Delta(source, metric, base, cur, change, regression, note))
+
+
+def compare_pipeline_docs(
+    base: dict, cur: dict, tolerance: float = DEFAULT_TOLERANCE
+) -> list[Delta]:
+    """Diff two ``BENCH_pipeline.json`` documents (baseline, current)."""
+    deltas: list[Delta] = []
+    for bench, methods in base.get("benchmarks", {}).items():
+        cur_methods = cur.get("benchmarks", {}).get(bench)
+        if cur_methods is None:
+            deltas.append(
+                Delta(
+                    f"pipeline/{bench}", "coverage", None, None, 0.0,
+                    True, "benchmark missing from current run",
+                )
+            )
+            continue
+        for method, b in methods.items():
+            source = f"pipeline/{bench}/{method}"
+            c = cur_methods.get(method)
+            if c is None:
+                deltas.append(
+                    Delta(
+                        source, "coverage", None, None, 0.0,
+                        True, "method missing from current run",
+                    )
+                )
+                continue
+            if not b.get("supported"):
+                # an unsupported pair becoming supported is a new
+                # capability, not a regression; nothing to compare
+                continue
+            if not c.get("supported"):
+                deltas.append(
+                    Delta(
+                        source, "supported", 1.0, 0.0, -1.0,
+                        True, "was supported in baseline",
+                    )
+                )
+                continue
+            _diff(
+                deltas, source, "mbps", b["mbps"], c["mbps"],
+                tolerance, higher_is_better=True,
+            )
+            _diff(
+                deltas, source, "elapsed_s", b["elapsed_s"], c["elapsed_s"],
+                tolerance, higher_is_better=False,
+            )
+            busy_b = sum(b["server_stages"][k] for k in _STAGE_KEYS)
+            busy_c = sum(c["server_stages"][k] for k in _STAGE_KEYS)
+            _diff(
+                deltas, source, "server_busy_s", busy_b, busy_c,
+                tolerance, higher_is_better=False,
+            )
+    return deltas
+
+
+def compare_dtype_cache_docs(
+    base: dict, cur: dict, tolerance: float = DEFAULT_TOLERANCE
+) -> list[Delta]:
+    """Diff two ``BENCH_dtype_cache.json`` documents.
+
+    Only the deterministic simulated fields are compared —
+    ``sim_speedup``, ``hit_rate``, ``scan_reduction`` per phase.  The
+    wall-clock ``speedup``/``wall_s`` numbers depend on the machine the
+    baseline was recorded on and are ignored.
+    """
+    deltas: list[Delta] = []
+    for phase, b in base.get("phases", {}).items():
+        source = f"dtype_cache/{phase}"
+        c = cur.get("phases", {}).get(phase)
+        if c is None:
+            deltas.append(
+                Delta(
+                    source, "coverage", None, None, 0.0,
+                    True, "phase missing from current run",
+                )
+            )
+            continue
+        for metric in ("sim_speedup", "hit_rate", "scan_reduction"):
+            _diff(
+                deltas, source, metric, b[metric], c[metric],
+                tolerance, higher_is_better=True,
+            )
+    return deltas
+
+
+def compare_against_dir(
+    baseline_dir: pathlib.Path,
+    tolerance: float = DEFAULT_TOLERANCE,
+    *,
+    pipeline_doc: Optional[dict] = None,
+    dtype_cache_doc: Optional[dict] = None,
+) -> tuple[list[Delta], list[str]]:
+    """Re-collect fresh benchmark docs and diff against ``baseline_dir``.
+
+    Returns ``(deltas, notes)``; ``notes`` lists baseline files that
+    were absent (and therefore skipped).  Raises ``FileNotFoundError``
+    if *no* baseline file is found — a gate that silently compares
+    nothing must not pass.  The ``*_doc`` keyword arguments inject a
+    pre-collected "current" document (used by tests to simulate
+    regressions without patching the collectors).
+    """
+    baseline_dir = pathlib.Path(baseline_dir)
+    deltas: list[Delta] = []
+    notes: list[str] = []
+    found = 0
+
+    pipe_path = baseline_dir / "BENCH_pipeline.json"
+    if pipe_path.exists():
+        found += 1
+        base = json.loads(pipe_path.read_text())
+        if pipeline_doc is None:
+            from .baseline import collect_pipeline_baseline
+
+            pipeline_doc = collect_pipeline_baseline()
+        deltas.extend(compare_pipeline_docs(base, pipeline_doc, tolerance))
+    else:
+        notes.append(f"skipped: {pipe_path} not found")
+
+    cache_path = baseline_dir / "BENCH_dtype_cache.json"
+    if cache_path.exists():
+        found += 1
+        base = json.loads(cache_path.read_text())
+        if dtype_cache_doc is None:
+            from .dtype_cache import CachePhase, collect
+
+            # repeats=1: only deterministic simulated fields are
+            # compared, so best-of-N wall timing is wasted work here
+            dtype_cache_doc = collect(CachePhase.full(), repeats=1)
+        deltas.extend(
+            compare_dtype_cache_docs(base, dtype_cache_doc, tolerance)
+        )
+    else:
+        notes.append(f"skipped: {cache_path} not found")
+
+    if not found:
+        raise FileNotFoundError(
+            f"no BENCH_*.json baselines under {baseline_dir}"
+        )
+    return deltas, notes
+
+
+def render_compare(
+    deltas: list[Delta], tolerance: float = DEFAULT_TOLERANCE
+) -> str:
+    """Aligned text report of a comparison run."""
+    title = (
+        f"Benchmark comparison vs baseline "
+        f"(tolerance ±{tolerance:.1%}, {len(deltas)} metrics)"
+    )
+    header = (
+        f"{'source':>34s} {'metric':>14s} {'baseline':>12s} "
+        f"{'current':>12s} {'change':>8s}  verdict"
+    )
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+
+    def num(v):
+        return f"{v:>12.6g}" if v is not None else f"{'—':>12s}"
+
+    for d in deltas:
+        verdict = "REGRESSION" if d.regression else (d.note or "ok")
+        lines.append(
+            f"{d.source:>34s} {d.metric:>14s} {num(d.baseline)} "
+            f"{num(d.current)} {d.change:>+7.1%}  {verdict}"
+            + (
+                f" ({d.note})"
+                if d.regression and d.note not in ("", "regression")
+                else ""
+            )
+        )
+    n_reg = sum(d.regression for d in deltas)
+    n_imp = sum(d.improved for d in deltas)
+    lines.append("")
+    lines.append(
+        f"{n_reg} regression(s), {n_imp} improvement(s), "
+        f"{len(deltas) - n_reg - n_imp} within tolerance"
+    )
+    return "\n".join(lines)

@@ -12,6 +12,7 @@ __all__ = [
     "format_mib",
     "render_characteristics",
     "render_figure",
+    "render_metrics_summary",
     "render_trace_summary",
     "PAPER_TABLE1",
     "PAPER_TABLE2",
@@ -129,6 +130,61 @@ def render_trace_summary(result) -> str:
             f"{stage:>16s} {span_sum:>12.6f} {stage_sum:>12.6f} "
             f"{span_sum - stage_sum:>10.1e}"
         )
+    return "\n".join(lines)
+
+
+def render_metrics_summary(result) -> str:
+    """Render a metered run's metrics, paper-report style.
+
+    Takes a :class:`~repro.bench.runner.RunResult` from a run with
+    ``PVFSConfig(metrics=True)``: per-stage latency quantiles from the
+    log-bucketed histograms, end-to-end request latency, traffic
+    counters, and the per-server load-imbalance report.
+    """
+    from ..metrics import STAGES, imbalance_report
+
+    hub = result.metrics
+    if hub is None:
+        raise ValueError("run was not metered (metrics is None)")
+    title = (
+        f"Metrics summary: {result.workload} / {result.method} "
+        f"({result.n_clients} clients, {hub.samples} samples @ "
+        f"{hub.interval:g} s, {result.elapsed:.6f} s simulated)"
+    )
+    header = (
+        f"{'latency':>16s} {'count':>7s} {'p50':>11s} "
+        f"{'p95':>11s} {'p99':>11s} {'sum':>12s}"
+    )
+    lines = [title, "=" * len(title), header, "-" * len(header)]
+
+    def hist_row(label, h):
+        lines.append(
+            f"{label:>16s} {h.count:>7d} {h.quantile(0.5):>11.3e} "
+            f"{h.quantile(0.95):>11.3e} {h.quantile(0.99):>11.3e} "
+            f"{h.sum:>12.6f}"
+        )
+
+    for stage in STAGES:
+        hist_row(f"stage:{stage}", hub._h_stage[stage])
+    hist_row("request", hub._h_request)
+    hist_row("queue-wait", hub._h_queue_wait)
+    lines.append("")
+    lines.append(
+        f"traffic: {hub._c_messages.value:g} messages, "
+        f"{hub._c_net_bytes.value:g} bytes, "
+        f"{hub._c_retries.value:g} client retries"
+    )
+    rep = imbalance_report(result.servers)
+    busy, byt = rep["busy"], rep["bytes"]
+    lines.append(
+        f"imbalance: busy max/mean {busy['max_over_mean']:.3f} "
+        f"(hottest {busy['hottest_server']}), "
+        f"bytes max/mean {byt['max_over_mean']:.3f} "
+        f"(hottest {byt['hottest_server']})"
+    )
+    lines.append(
+        f"bottleneck: {result.network.bottleneck(result.pipeline.total)}"
+    )
     return "\n".join(lines)
 
 

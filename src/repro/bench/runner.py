@@ -7,6 +7,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..metrics import MetricsHub
 from ..mpiio import File, Hints, MPIIOCounters, SimMPI
 from ..pvfs import PVFS, PVFSConfig
 from ..pvfs.errors import LockUnsupported
@@ -40,6 +41,11 @@ class RunResult:
     #: used ``PVFSConfig(trace=True)``.
     tracer: Optional[TraceRecorder] = None
     trace_summary: Optional[dict] = None
+    #: Metrics hub (finalized); populated only when the run used
+    #: ``PVFSConfig(metrics=True)``.
+    metrics: Optional[MetricsHub] = None
+    #: The I/O servers of the finished run (imbalance reporting).
+    servers: list = field(default_factory=list)
     note: str = ""
 
     @property
@@ -178,6 +184,11 @@ def run_workload(
     if fs.tracer.enabled:
         result.tracer = fs.tracer
         result.trace_summary = summarize_trace(fs.tracer)
+    if fs.metrics.enabled:
+        # capture the tail sample so series integrals cover the full run
+        fs.metrics.finalize()
+        result.metrics = fs.metrics
+        result.servers = fs.servers
     return result
 
 

@@ -1,0 +1,51 @@
+"""Simulated-clock metrics: counters, gauges, histograms, time series.
+
+The metrics twin of :mod:`repro.trace`: enable with
+``PVFSConfig(metrics=True)``, collect pure observations (metrics-on
+runs are bit-identical to metrics-off), export OpenMetrics text or
+JSON, and gate regressions with ``repro-bench compare``.
+"""
+
+from .export import (
+    imbalance_report,
+    metrics_json,
+    openmetrics,
+    validate_openmetrics,
+)
+from .hub import (
+    NULL_METRICS,
+    STAGES,
+    MetricsHub,
+    NullMetrics,
+    reconcile_metrics,
+)
+from .registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    Series,
+    log_buckets,
+)
+
+__all__ = [
+    "MetricsHub",
+    "NullMetrics",
+    "NULL_METRICS",
+    "STAGES",
+    "reconcile_metrics",
+    "MetricsRegistry",
+    "MetricFamily",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Series",
+    "log_buckets",
+    "DEFAULT_LATENCY_BUCKETS",
+    "openmetrics",
+    "validate_openmetrics",
+    "metrics_json",
+    "imbalance_report",
+]

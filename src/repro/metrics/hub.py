@@ -1,0 +1,350 @@
+"""The live metrics hub: instrumentation sites + the periodic sampler.
+
+One :class:`MetricsHub` per simulated file system (``PVFSConfig
+(metrics=True)``).  It owns a :class:`~repro.metrics.registry.MetricsRegistry`
+and exposes the narrow site API the instrumented layers call
+(``observe_stage``, ``observe_rpc``, ``message`` …); every site guards
+with ``if metrics.enabled:`` so the disabled singleton
+(:data:`NULL_METRICS`) costs a single attribute test, exactly the
+``repro.trace`` pattern.
+
+The **sampler** runs off the simulation engine's clock hook
+(:attr:`Environment.clock_hook <repro.simulation.engine.Environment>`):
+whenever the event loop is about to advance the clock past a sampling
+boundary (``metrics_interval`` cadence), the hub snapshots per-server
+queue depth, cache hit rate and bytes served, global bytes in flight,
+and per-NIC utilization over the elapsed interval into
+:class:`~repro.metrics.registry.Series`.  The hook never creates
+simulation events, so a metrics-on run is bit-identical to a
+metrics-off run — same guarantee, and the same float-equality test, as
+tracing.
+
+:func:`reconcile_metrics` cross-checks the hub against the independent
+:class:`~repro.simulation.stats.StageTimes` /
+:class:`~repro.simulation.stats.NetworkSummary` accounting: per-stage
+histogram sums must match stage seconds, NIC utilization series
+integrals must match NIC busy seconds, and the message/byte counters
+must match the network totals.  ``repro-bench metrics`` treats any
+divergence as a hard failure.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from .registry import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..pvfs.system import PVFS
+    from ..simulation.stats import NetworkSummary, StageTimes
+
+__all__ = ["MetricsHub", "NullMetrics", "NULL_METRICS", "reconcile_metrics"]
+
+#: Pipeline stages, in charge order (mirrors StageTimes.stage_fields()).
+STAGES = ("decode", "plan", "cache", "storage", "respond")
+
+
+class MetricsHub:
+    """Registry + sampler + instrumentation sites for one file system."""
+
+    enabled = True
+
+    def __init__(self, env, interval: float):
+        if interval <= 0:
+            raise ValueError("metrics interval must be positive")
+        self.env = env
+        self.interval = interval
+        self.registry = MetricsRegistry()
+        self.samples = 0
+        self._fs: Optional["PVFS"] = None
+        self._next_sample = interval
+        self._last_sample_t = 0.0
+        self._prev_nic_busy: dict[tuple[str, str], float] = {}
+        self._finalized = False
+
+        reg = self.registry
+        self._h_stage = {
+            s: reg.histogram(
+                "repro_stage_seconds",
+                "Per-request pipeline stage latency",
+                stage=s,
+            )
+            for s in STAGES
+        }
+        self._h_request = reg.histogram(
+            "repro_request_seconds",
+            "End-to-end server request latency (queue wait + service)",
+        )
+        self._h_queue_wait = reg.histogram(
+            "repro_queue_wait_seconds",
+            "Time a request sat in the server mailbox/admission queue",
+        )
+        self._h_rpc: dict[str, object] = {}
+        self._h_op: dict[tuple[str, str], object] = {}
+        self._c_messages = reg.counter(
+            "repro_net_messages", "Messages sent over the simulated network"
+        )
+        self._c_net_bytes = reg.counter(
+            "repro_net_bytes", "Bytes sent over the simulated network"
+        )
+        self._c_retries = reg.counter(
+            "repro_client_retries",
+            "Client resends after admission-control rejection",
+        )
+        self._g_inflight = reg.gauge(
+            "repro_net_inflight_bytes",
+            "Bytes reserved on NICs but not yet delivered",
+        )
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def bind(self, fs: "PVFS") -> None:
+        """Attach the file system whose state the sampler snapshots."""
+        self._fs = fs
+
+    # ------------------------------------------------------------------
+    # instrumentation sites (all pure observation)
+    # ------------------------------------------------------------------
+    def observe_stage(self, stage: str, seconds: float) -> None:
+        self._h_stage[stage].observe(seconds)
+
+    def observe_request(self, seconds: float) -> None:
+        self._h_request.observe(seconds)
+
+    def observe_queue_wait(self, seconds: float) -> None:
+        self._h_queue_wait.observe(seconds)
+
+    def observe_rpc(self, seconds: float, op_kind: str) -> None:
+        h = self._h_rpc.get(op_kind)
+        if h is None:
+            h = self.registry.histogram(
+                "repro_rpc_seconds",
+                "Client round-trip latency, request sent to response "
+                "accepted (includes rejection backoff and resends)",
+                op=op_kind,
+            )
+            self._h_rpc[op_kind] = h
+        h.observe(seconds)
+
+    def observe_op(self, seconds: float, method: str, is_write: bool) -> None:
+        key = (method, "write" if is_write else "read")
+        h = self._h_op.get(key)
+        if h is None:
+            h = self.registry.histogram(
+                "repro_mpiio_seconds",
+                "Whole MPI-IO operation latency",
+                method=key[0],
+                op=key[1],
+            )
+            self._h_op[key] = h
+        h.observe(seconds)
+
+    def message(self) -> None:
+        self._c_messages.inc()
+
+    def net_bytes(self, nbytes: int) -> None:
+        """Wire bytes only — loopback sends count messages, not bytes,
+        mirroring ``Network.bytes_transferred`` exactly."""
+        self._c_net_bytes.inc(nbytes)
+
+    def inflight(self, delta_bytes: int) -> None:
+        self._g_inflight.inc(delta_bytes)
+
+    def retry(self) -> None:
+        self._c_retries.inc()
+
+    # ------------------------------------------------------------------
+    # periodic sampling (engine clock hook)
+    # ------------------------------------------------------------------
+    def on_clock(self, prev_now: float, next_t: float) -> None:
+        """Engine hook: the clock is about to advance to ``next_t``.
+
+        Emits one sample per crossed boundary.  State read at boundary
+        ``b`` reflects every event strictly before ``b`` plus none at or
+        after it — deterministic, and independent of how many events
+        share an instant.
+        """
+        due = self._next_sample
+        if next_t < due or self._fs is None or self._finalized:
+            return
+        while due <= next_t:
+            self._sample(due)
+            due += self.interval
+        self._next_sample = due
+
+    def finalize(self) -> None:
+        """Take the closing partial sample at the current instant.
+
+        Called once after the simulation finishes so series cover the
+        tail beyond the last whole interval (this is what makes the
+        utilization integrals reconcile exactly with NIC busy totals).
+        Idempotent.
+        """
+        if self._finalized:
+            return
+        self._finalized = True
+        if self._fs is None:
+            return
+        now = self.env.now
+        if now > self._last_sample_t:
+            self._sample(now)
+
+    def _sample(self, t: float) -> None:
+        fs = self._fs
+        reg = self.registry
+        dt = t - self._last_sample_t
+        self._last_sample_t = t
+        self.samples += 1
+
+        for server in fs.servers:
+            label = f"iod{server.index}"
+            reg.series(
+                "repro_server_queue_depth",
+                "Requests queued or in flight at the I/O daemon",
+                server=label,
+            ).append(t, float(server.queue_depth()), dt)
+            cache = server.expand_cache
+            lookups = (cache.hits + cache.misses) if cache is not None else 0
+            rate = cache.hits / lookups if lookups else 0.0
+            reg.series(
+                "repro_server_cache_hit_rate",
+                "Cumulative expansion-cache hit rate",
+                server=label,
+            ).append(t, rate, dt)
+            reg.series(
+                "repro_server_bytes",
+                "Cumulative bytes served (read + written)",
+                server=label,
+            ).append(
+                t, float(server.bytes_read + server.bytes_written), dt
+            )
+
+        reg.series(
+            "repro_net_inflight_bytes_sampled",
+            "Bytes reserved on NICs but not yet delivered, sampled",
+        ).append(t, self._g_inflight.value, dt)
+
+        prev = self._prev_nic_busy
+        for node in fs.net.nodes.values():
+            for side, busy in (
+                ("tx", node.tx_busy_time),
+                ("rx", node.rx_busy_time),
+            ):
+                key = (node.name, side)
+                delta = busy - prev.get(key, 0.0)
+                prev[key] = busy
+                reg.series(
+                    f"repro_nic_{side}_utilization",
+                    f"NIC {side} busy fraction over the sample interval "
+                    "(can exceed 1: reservations book busy time up "
+                    "front)",
+                    node=node.name,
+                ).append(t, delta / dt if dt > 0 else 0.0, dt)
+
+
+class NullMetrics:
+    """Disabled metrics: every site is a no-op behind ``enabled=False``."""
+
+    enabled = False
+    samples = 0
+
+    def bind(self, fs) -> None:
+        pass
+
+    def observe_stage(self, stage, seconds) -> None:
+        pass
+
+    def observe_request(self, seconds) -> None:
+        pass
+
+    def observe_queue_wait(self, seconds) -> None:
+        pass
+
+    def observe_rpc(self, seconds, op_kind) -> None:
+        pass
+
+    def observe_op(self, seconds, method, is_write) -> None:
+        pass
+
+    def message(self) -> None:
+        pass
+
+    def net_bytes(self, nbytes) -> None:
+        pass
+
+    def inflight(self, delta_bytes) -> None:
+        pass
+
+    def retry(self) -> None:
+        pass
+
+    def on_clock(self, prev_now, next_t) -> None:
+        pass
+
+    def finalize(self) -> None:
+        pass
+
+
+#: Shared disabled singleton; ``PVFS`` uses it when ``config.metrics`` is off.
+NULL_METRICS = NullMetrics()
+
+
+def reconcile_metrics(
+    hub: MetricsHub,
+    stage_times: "StageTimes",
+    net_summary: "NetworkSummary",
+    tol: float = 1e-9,
+) -> list[str]:
+    """Cross-check hub instruments against the independent accounting.
+
+    Three reconciliations, all maintained by disjoint code paths so
+    agreement is a real invariant, not a tautology:
+
+    * per-stage histogram sums vs :class:`StageTimes` stage seconds;
+    * per-NIC utilization series integrals vs ``NodeUtilization`` busy
+      seconds (requires :meth:`MetricsHub.finalize` to have captured
+      the tail interval);
+    * message/byte counters vs the network's global totals (exact).
+
+    Returns the list of divergences (empty = reconciled).
+    """
+    problems: list[str] = []
+    for stage in STAGES:
+        want = getattr(stage_times, stage)
+        got = hub._h_stage[stage].sum
+        if abs(want - got) > tol:
+            problems.append(
+                f"stage {stage}: histogram sum {got!r} != "
+                f"StageTimes {want!r}"
+            )
+
+    fams = hub.registry.families
+    for side in ("tx", "rx"):
+        fam = fams.get(f"repro_nic_{side}_utilization")
+        children = (
+            {dict(k)["node"]: v for k, v in fam.children.items()}
+            if fam is not None
+            else {}
+        )
+        for node in net_summary.nodes:
+            busy = node.tx_busy if side == "tx" else node.rx_busy
+            series = children.get(node.name)
+            got = series.integral() if series is not None else 0.0
+            if abs(busy - got) > tol:
+                problems.append(
+                    f"nic {node.name}/{side}: series integral {got!r} "
+                    f"!= busy {busy!r}"
+                )
+
+    if hub._c_messages.value != net_summary.total_messages:
+        problems.append(
+            f"messages: counter {hub._c_messages.value!r} != "
+            f"network {net_summary.total_messages!r}"
+        )
+    if hub._c_net_bytes.value != net_summary.total_bytes:
+        problems.append(
+            f"bytes: counter {hub._c_net_bytes.value!r} != "
+            f"network {net_summary.total_bytes!r}"
+        )
+    return problems

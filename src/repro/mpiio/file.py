@@ -300,6 +300,8 @@ class File:
     def _run(self, m, offset, memtype, count, buf, is_write):
         op = IOOperation(self, offset, memtype, count, buf, is_write)
         tracer = self.ctx.fs.system.tracer
+        metrics = self.ctx.fs.system.metrics
+        t_start = self.ctx.env.now
         if tracer.enabled:
             # one fresh trace per MPI-IO call: the root of everything
             # the operation triggers down the stack
@@ -335,5 +337,9 @@ class File:
             tracer.end(
                 op.span,
                 io_ops=self.ctx.fs.counters.io_ops - before_ops,
+            )
+        if metrics.enabled:
+            metrics.observe_op(
+                self.ctx.env.now - t_start, m.name, is_write
             )
         del resent_before  # resent_bytes is updated by the method itself

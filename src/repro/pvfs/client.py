@@ -721,6 +721,8 @@ class PVFSClient:
         env = self.system.env
         cfg = self.system.config
         tracer = self.system.tracer
+        metrics = self.system.metrics
+        t_sent: dict[int, float] = {}
         rpc_spans: dict[int, object] = {}
         if tracer.enabled and span is not None:
             for req, _spos, _regions in requests:
@@ -739,6 +741,8 @@ class PVFSClient:
                 rpc_spans[req.req_id] = rpc
         responses: dict[int, IOResponse] = {}
         for req, _spos, _regions in requests:
+            if metrics.enabled:
+                t_sent[req.req_id] = env.now
             yield from self._send_io(req)
         for req, _spos, _regions in requests:
             rpc = rpc_spans.get(req.req_id)
@@ -748,6 +752,8 @@ class PVFSClient:
                 )
                 if resp.rejected:
                     self.counters.retries += 1
+                    if metrics.enabled:
+                        metrics.retry()
                     if rpc is not None:
                         rpc.attrs["retries"] = rpc.attrs.get("retries", 0) + 1
                     if cfg.server_retry_backoff > 0:
@@ -759,6 +765,12 @@ class PVFSClient:
                         tracer.end(rpc, error=resp.error)
                     raise PVFSError(resp.error)
                 responses[resp.req_id] = resp
+                if metrics.enabled:
+                    # accumulates rejection backoff + resends: the
+                    # latency the operation actually experienced
+                    metrics.observe_rpc(
+                        env.now - t_sent[req.req_id], req.op_kind
+                    )
                 if rpc is not None:
                     tracer.end(rpc, nbytes=resp.nbytes)
                 break

@@ -84,6 +84,19 @@ class PVFSConfig:
     #: tracing on or off.  Off by default (zero overhead: every
     #: instrumentation site is a single attribute test).
     trace: bool = False
+    #: Metrics collection (``repro.metrics``): counters, latency
+    #: histograms per pipeline stage, and a periodic sampler that
+    #: snapshots queue depths, cache hit rates, bytes in flight, and
+    #: NIC utilization into time series keyed to the simulated clock.
+    #: Like tracing, collection is purely observational — the sampler
+    #: rides the engine's clock hook and never creates events, so
+    #: metrics-on runs are bit-identical to metrics-off.  Off by
+    #: default (every site is a single attribute test).
+    metrics: bool = False
+    #: Sampling cadence of the metrics time series, in simulated
+    #: seconds (default 1 ms; typical paper-scale runs span tens of
+    #: milliseconds to seconds).
+    metrics_interval: float = 1e-3
     #: Whether byte-range locking is available (PVFS: no).
     supports_locking: bool = False
     #: Collapse runs of consecutive synchronous requests from one
@@ -112,3 +125,5 @@ class PVFSConfig:
             )
         if self.server_retry_backoff < 0:
             raise ValueError("server_retry_backoff must be non-negative")
+        if self.metrics_interval <= 0:
+            raise ValueError("metrics_interval must be positive")

@@ -285,6 +285,7 @@ def _respond(server: "IOServer", req: IORequest, resp: IOResponse, parent=None):
     reply drains while the daemon services the next request."""
     env = server.system.env
     tracer = server.system.tracer
+    metrics = server.system.metrics
     traced = tracer.enabled and req.trace_id >= 0
     if traced:
         # the response's net.xfer span parents under the client's RPC
@@ -299,7 +300,10 @@ def _respond(server: "IOServer", req: IORequest, resp: IOResponse, parent=None):
         payload=resp,
         pace=False,
     )
-    server.stage_times.respond += env.now - t0
+    dt = env.now - t0
+    server.stage_times.respond += dt
+    if metrics.enabled:
+        metrics.observe_stage("respond", dt)
     if traced:
         tracer.add(
             "server.respond",
@@ -380,10 +384,15 @@ class SerialScheduler:
 
     def submit(self, req: IORequest, queue_wait: float = 0.0):
         server = self.server
+        env = server.system.env
+        metrics = server.system.metrics
         st = server.stage_times
         queued = len(server.mailbox) + 1  # waiting + the one in hand
         if queued > st.peak_queue:
             st.peak_queue = queued
+        t_start = env.now
+        if metrics.enabled:
+            metrics.observe_queue_wait(queue_wait)
         tracer = server.system.tracer
         span = None
         if tracer.enabled and req.trace_id >= 0:
@@ -407,12 +416,16 @@ class SerialScheduler:
         finally:
             if span is not None:
                 tracer.end(span)
+            if metrics.enabled:
+                # end-to-end: mailbox wait + everything through respond
+                metrics.observe_request(queue_wait + env.now - t_start)
 
     def _serve(self, req: IORequest, span=None):
         server = self.server
         env = server.system.env
         st = server.stage_times
         tracer = server.system.tracer
+        metrics = server.system.metrics
         traced = span is not None
 
         # ----- decode -----
@@ -422,7 +435,10 @@ class SerialScheduler:
         st.requests += 1
         t0 = env.now
         yield env.timeout(handler.decode(server, req))
-        st.decode += env.now - t0
+        dt = env.now - t0
+        st.decode += dt
+        if metrics.enabled:
+            metrics.observe_stage("decode", dt)
         if traced:
             tracer.add(
                 "server.decode",
@@ -454,6 +470,10 @@ class SerialScheduler:
         st.plan += plan.proc_cost
         st.cache += plan.cache_cost
         st.storage += disk_time
+        if metrics.enabled:
+            metrics.observe_stage("plan", plan.proc_cost)
+            metrics.observe_stage("cache", plan.cache_cost)
+            metrics.observe_stage("storage", disk_time)
         if traced:
             _record_busy_spans(tracer, server, req, span, plan, t1, disk_time)
 
@@ -522,6 +542,9 @@ class ThreadedScheduler:
         self.inflight += 1
         if self.inflight > st.peak_queue:
             st.peak_queue = self.inflight
+        metrics = server.system.metrics
+        if metrics.enabled:
+            metrics.observe_queue_wait(queue_wait)
         span = None
         if tracer.enabled and req.trace_id >= 0:
             span = tracer.begin(
@@ -536,19 +559,22 @@ class ThreadedScheduler:
                 queue_wait=queue_wait,
             )
         server.system.env.process(
-            self._worker(req, span),
+            self._worker(req, span, queue_wait),
             name=f"iod{server.index}.req{req.req_id}",
         )
 
-    def _worker(self, req: IORequest, span=None):
+    def _worker(self, req: IORequest, span=None, queue_wait: float = 0.0):
         server = self.server
+        env = server.system.env
         tracer = server.system.tracer
+        metrics = server.system.metrics
+        t_start = env.now
         try:
-            t0 = server.system.env.now
+            t0 = env.now
             yield self.threads.request()
             if span is not None:
                 # admission-to-thread wait under the bounded pool
-                span.attrs["thread_wait"] = server.system.env.now - t0
+                span.attrs["thread_wait"] = env.now - t0
             try:
                 yield from self._serve(req, span)
             finally:
@@ -561,12 +587,16 @@ class ThreadedScheduler:
             self.inflight -= 1
             if span is not None:
                 tracer.end(span)
+            if metrics.enabled:
+                # end-to-end: mailbox wait + everything through respond
+                metrics.observe_request(queue_wait + env.now - t_start)
 
     def _serve(self, req: IORequest, span=None):
         server = self.server
         env = server.system.env
         st = server.stage_times
         tracer = server.system.tracer
+        metrics = server.system.metrics
         traced = span is not None
         actor = f"iod{server.index}"
 
@@ -577,7 +607,10 @@ class ThreadedScheduler:
         st.requests += 1
         t0 = env.now
         yield env.timeout(handler.decode(server, req))
-        st.decode += env.now - t0
+        dt = env.now - t0
+        st.decode += dt
+        if metrics.enabled:
+            metrics.observe_stage("decode", dt)
         if traced:
             tracer.add(
                 "server.decode",
@@ -598,6 +631,9 @@ class ThreadedScheduler:
             yield env.timeout(cpu)
         st.plan += plan.proc_cost
         st.cache += plan.cache_cost
+        if metrics.enabled:
+            metrics.observe_stage("plan", plan.proc_cost)
+            metrics.observe_stage("cache", plan.cache_cost)
         if traced:
             t2 = t1 + plan.proc_cost
             attrs = {"built": plan.built, "scanned": plan.scanned}
@@ -635,6 +671,8 @@ class ThreadedScheduler:
         finally:
             self.disk_arm.release()
         st.storage += disk_time
+        if metrics.enabled:
+            metrics.observe_stage("storage", disk_time)
         if traced:
             tracer.add(
                 "server.storage",

@@ -61,6 +61,18 @@ class IOServer:
         self.stage_times = StageTimes()
 
     # ------------------------------------------------------------------
+    def queue_depth(self) -> int:
+        """Requests waiting in the mailbox plus any admitted in flight.
+
+        Pure observation (no clock movement) — the metrics sampler
+        calls this from the engine clock hook.
+        """
+        depth = len(self.mailbox)
+        if self.scheduler.concurrent:
+            depth += self.scheduler.inflight
+        return depth
+
+    # ------------------------------------------------------------------
     def record_plan(self, plan) -> None:
         """Account a finished plan stage (counters + cache snapshot)."""
         self.accesses_built += plan.built
@@ -94,7 +106,7 @@ class IOServer:
                 continue
             req: IORequest = payload
             queue_wait = 0.0
-            if self.system.tracer.enabled:
+            if self.system.tracer.enabled or self.system.metrics.enabled:
                 queue_wait = env.now - msg.t_enqueued
             # the scheduler owns error containment: a malformed or
             # failing request becomes an error response, never a dead

@@ -21,6 +21,7 @@ from ..simulation import (
     ServerPipelineSummary,
     summarize_servers,
 )
+from ..metrics import NULL_METRICS, MetricsHub
 from ..trace import NULL_TRACER, TraceRecorder
 from .client import PVFSClient
 from .config import PVFSConfig
@@ -54,6 +55,14 @@ class PVFS:
         #: ``config.trace``, otherwise the zero-overhead singleton.
         self.tracer = TraceRecorder(env) if config.trace else NULL_TRACER
         self.net.tracer = self.tracer
+        #: Metrics hub (``repro.metrics``); live only with
+        #: ``config.metrics``, otherwise the zero-overhead singleton.
+        self.metrics = (
+            MetricsHub(env, config.metrics_interval)
+            if config.metrics
+            else NULL_METRICS
+        )
+        self.net.metrics = self.metrics
 
         self.servers: list[IOServer] = []
         for i in range(config.n_servers):
@@ -70,6 +79,13 @@ class PVFS:
 
         self.locks = LockManager(self)
         self._clients: list[PVFSClient] = []
+
+        if config.metrics:
+            # the sampler snapshots server/NIC state from the engine's
+            # clock hook — never from simulation events, so enabling
+            # metrics cannot perturb event ordering or timings
+            self.metrics.bind(self)
+            env.clock_hook = self.metrics.on_clock
 
     # ------------------------------------------------------------------
     def client(self, node_name: str, name: Optional[str] = None) -> PVFSClient:

@@ -293,6 +293,12 @@ class Environment:
         self.now: float = 0.0
         self._queue: list[tuple[float, int, Event]] = []
         self._seq = 0
+        #: Optional observer called as ``hook(prev_now, next_t)`` just
+        #: before the clock advances (strictly: only when ``next_t``
+        #: exceeds ``now``).  It runs outside the event queue and must
+        #: not create events — ``repro.metrics`` uses it to take
+        #: periodic samples without perturbing the simulation.
+        self.clock_hook: Optional[Callable[[float, float], None]] = None
 
     # ------------------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
@@ -330,12 +336,17 @@ class Environment:
         elif until is not None:
             deadline = float(until)
 
+        hook = self.clock_hook
         while self._queue:
             t, _, event = self._queue[0]
             if deadline is not None and t > deadline:
+                if hook is not None and deadline > self.now:
+                    hook(self.now, deadline)
                 self.now = deadline
                 return None
             heapq.heappop(self._queue)
+            if hook is not None and t > self.now:
+                hook(self.now, t)
             self.now = t
             event._run_callbacks()
             if stop_event is not None and stop_event.triggered:
@@ -348,5 +359,7 @@ class Environment:
                 "never happen)"
             )
         if deadline is not None:
+            if hook is not None and deadline > self.now:
+                hook(self.now, deadline)
             self.now = deadline
         return None

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
+from ..metrics import NULL_METRICS
 from ..trace import NULL_TRACER
 from .costs import CostModel
 from .engine import Environment, Event
@@ -114,6 +115,8 @@ class Network:
         #: Span recorder (``repro.trace``); the disabled singleton by
         #: default — ``PVFS`` swaps in a live one when tracing is on.
         self.tracer = NULL_TRACER
+        #: Metrics hub (``repro.metrics``); same pattern as the tracer.
+        self.metrics = NULL_METRICS
 
     # ------------------------------------------------------------------
     def node(self, name: str) -> Node:
@@ -152,6 +155,8 @@ class Network:
         src.bytes_sent += nbytes
         dst.bytes_received += nbytes
         self.bytes_transferred += nbytes
+        if self.metrics.enabled:
+            self.metrics.net_bytes(nbytes)
         return max(src.tx_busy_until, dst.rx_busy_until)
 
     def send(
@@ -186,12 +191,17 @@ class Network:
 
         msg = Message(src, payload, nbytes, tag)
         self.message_count += 1
+        metrics = self.metrics
+        if metrics.enabled:
+            metrics.message()
         if src.node is dst.node:
             # loopback: no wire, no latency
             msg.t_enqueued = env.now
             dst._store.put(msg)
             return
         end = self._reserve(src.node, dst.node, nbytes, bandwidth)
+        if metrics.enabled:
+            metrics.inflight(nbytes)
         tracer = self.tracer
         if tracer.enabled and getattr(payload, "trace_id", -1) >= 0:
             tracer.add(
@@ -207,7 +217,7 @@ class Network:
                 nbytes=nbytes,
             )
         deliver_delay = (end - env.now) + lat
-        _deliver_later(env, dst, msg, deliver_delay)
+        _deliver_later(env, dst, msg, deliver_delay, metrics)
         if pace and end > env.now:
             yield env.timeout(end - env.now)
 
@@ -230,14 +240,24 @@ class Network:
         return msg
 
 
-def _deliver_later(env: Environment, dst: Mailbox, msg: Message, delay: float):
+def _deliver_later(
+    env: Environment,
+    dst: Mailbox,
+    msg: Message,
+    delay: float,
+    metrics=NULL_METRICS,
+):
     if delay <= 0:
+        if metrics.enabled:
+            metrics.inflight(-msg.nbytes)
         msg.t_enqueued = env.now
         dst._store.put(msg)
         return
     ev = env.timeout(delay)
 
     def _put(_ev):
+        if metrics.enabled:
+            metrics.inflight(-msg.nbytes)
         msg.t_enqueued = env.now
         dst._store.put(msg)
 

@@ -26,8 +26,8 @@ accounting systems are cross-checked by ``repro-bench trace``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from .network import Network
@@ -53,57 +53,61 @@ class StageTimes:
     report where server time goes per access method.
     """
 
-    decode: float = 0.0  #: request parse/dispatch seconds
-    plan: float = 0.0  #: access-list construction / dataloop expansion
-    cache: float = 0.0  #: expansion-cache hit lookup/assembly seconds
-    storage: float = 0.0  #: disk positioning + transfer seconds
-    respond: float = 0.0  #: response handoff seconds (send CPU)
+    # Stage seconds carry ``unit: s`` metadata (their as_dict key gains
+    # an ``_s`` suffix and they form :meth:`stage_fields`); counters
+    # default to summing under :meth:`add` unless marked ``agg: max``.
+    # Everything below — add/busy/as_dict/stage_fields — derives from
+    # this single field list, so a new counter cannot silently drift
+    # out of one of the aggregation sites.
+    decode: float = field(default=0.0, metadata={"unit": "s"})
+    #: request parse/dispatch seconds
+    plan: float = field(default=0.0, metadata={"unit": "s"})
+    #: access-list construction / dataloop expansion
+    cache: float = field(default=0.0, metadata={"unit": "s"})
+    #: expansion-cache hit lookup/assembly seconds
+    storage: float = field(default=0.0, metadata={"unit": "s"})
+    #: disk positioning + transfer seconds
+    respond: float = field(default=0.0, metadata={"unit": "s"})
+    #: response handoff seconds (send CPU)
     requests: int = 0  #: requests fully processed
     rejected: int = 0  #: requests refused by admission control
-    peak_queue: int = 0  #: deepest request queue observed
+    peak_queue: int = field(default=0, metadata={"agg": "max"})
+    #: deepest request queue observed
     cache_hits: int = 0  #: expansion-cache hits
     cache_misses: int = 0  #: expansion-cache misses (entry built)
     cache_evictions: int = 0  #: entries evicted under the region bound
     cache_regions_held: int = 0  #: regions currently held in the cache
     cache_bytes_held: int = 0  #: approximate bytes of cached arrays
 
+    @classmethod
+    def stage_fields(cls) -> tuple[str, ...]:
+        """Names of the pipeline-stage second fields, in charge order."""
+        return tuple(
+            f.name for f in fields(cls) if f.metadata.get("unit") == "s"
+        )
+
     def add(self, other: "StageTimes") -> None:
-        self.decode += other.decode
-        self.plan += other.plan
-        self.cache += other.cache
-        self.storage += other.storage
-        self.respond += other.respond
-        self.requests += other.requests
-        self.rejected += other.rejected
-        self.peak_queue = max(self.peak_queue, other.peak_queue)
-        self.cache_hits += other.cache_hits
-        self.cache_misses += other.cache_misses
-        self.cache_evictions += other.cache_evictions
-        self.cache_regions_held += other.cache_regions_held
-        self.cache_bytes_held += other.cache_bytes_held
+        for f in fields(self):
+            mine, theirs = getattr(self, f.name), getattr(other, f.name)
+            if f.metadata.get("agg") == "max":
+                setattr(self, f.name, max(mine, theirs))
+            else:
+                setattr(self, f.name, mine + theirs)
 
     @property
     def busy(self) -> float:
         """Total seconds the pipeline charged across all stages."""
-        return (
-            self.decode + self.plan + self.cache + self.storage + self.respond
-        )
+        total = 0.0
+        for name in self.stage_fields():
+            total += getattr(self, name)
+        return total
 
     def as_dict(self) -> dict:
         return {
-            "decode_s": self.decode,
-            "plan_s": self.plan,
-            "cache_s": self.cache,
-            "storage_s": self.storage,
-            "respond_s": self.respond,
-            "requests": self.requests,
-            "rejected": self.rejected,
-            "peak_queue": self.peak_queue,
-            "cache_hits": self.cache_hits,
-            "cache_misses": self.cache_misses,
-            "cache_evictions": self.cache_evictions,
-            "cache_regions_held": self.cache_regions_held,
-            "cache_bytes_held": self.cache_bytes_held,
+            f.name + ("_s" if f.metadata.get("unit") == "s" else ""): getattr(
+                self, f.name
+            )
+            for f in fields(self)
         }
 
 
@@ -117,11 +121,8 @@ class ServerPipelineSummary:
     def dominant_stage(self) -> str:
         """Name of the stage with the most accumulated time."""
         stages = {
-            "decode": self.total.decode,
-            "plan": self.total.plan,
-            "cache": self.total.cache,
-            "storage": self.total.storage,
-            "respond": self.total.respond,
+            name: getattr(self.total, name)
+            for name in StageTimes.stage_fields()
         }
         return max(stages.items(), key=lambda kv: kv[1])[0]
 
@@ -133,23 +134,7 @@ def summarize_servers(servers) -> ServerPipelineSummary:
     for s in servers:
         st = s.stage_times
         summary.per_server[s.index] = st
-        summary.total.add(
-            StageTimes(
-                decode=st.decode,
-                plan=st.plan,
-                cache=st.cache,
-                storage=st.storage,
-                respond=st.respond,
-                requests=st.requests,
-                rejected=st.rejected,
-                peak_queue=st.peak_queue,
-                cache_hits=st.cache_hits,
-                cache_misses=st.cache_misses,
-                cache_evictions=st.cache_evictions,
-                cache_regions_held=st.cache_regions_held,
-                cache_bytes_held=st.cache_bytes_held,
-            )
-        )
+        summary.total.add(st)
     return summary
 
 
@@ -204,14 +189,27 @@ class NetworkSummary:
         )
         return total / (len(nodes) * self.elapsed)
 
-    def bottleneck(self) -> str:
-        """A one-word guess at the saturated resource group."""
+    def bottleneck(self, stages: Optional["StageTimes"] = None) -> str:
+        """A one-word guess at the saturated resource group.
+
+        Pass the aggregate server :class:`StageTimes` to make the guess
+        disk-aware: the mean per-server storage-stage busy fraction
+        joins the NIC candidates and wins as ``"server-disk"`` when
+        disks are the saturated resource (the dominant regime of
+        several write-heavy workloads).
+        """
         candidates = {
             "server-rx": self.mean_utilization("ios", "rx"),
             "server-tx": self.mean_utilization("ios", "tx"),
             "client-rx": self.mean_utilization("cn", "rx"),
             "client-tx": self.mean_utilization("cn", "tx"),
         }
+        if stages is not None:
+            n_ios = len(self.group("ios"))
+            if n_ios and self.elapsed > 0:
+                candidates["server-disk"] = stages.storage / (
+                    n_ios * self.elapsed
+                )
         name, value = max(candidates.items(), key=lambda kv: kv[1])
         return name if value > 0.5 else "cpu-or-latency"
 

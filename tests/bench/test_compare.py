@@ -1,0 +1,212 @@
+"""The regression gate: tolerance bands, directions, coverage, exit codes."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench.compare import (
+    DEFAULT_TOLERANCE,
+    compare_against_dir,
+    compare_dtype_cache_docs,
+    compare_pipeline_docs,
+    render_compare,
+)
+
+PIPE_BASE = {
+    "schema": 1,
+    "benchmarks": {
+        "fig8_tile_read": {
+            "datatype_io": {
+                "supported": True,
+                "mbps": 1.0,
+                "elapsed_s": 0.05,
+                "n_clients": 6,
+                "io_ops_per_client": 1.0,
+                "server_stages": {
+                    "decode_s": 0.02,
+                    "plan_s": 0.01,
+                    "cache_s": 0.0,
+                    "storage_s": 0.005,
+                    "respond_s": 0.001,
+                },
+            },
+            "data_sieving": {"supported": False},
+        }
+    },
+}
+
+CACHE_BASE = {
+    "schema": 1,
+    "phases": {
+        "shifted": {
+            "sim_speedup": 1.03,
+            "hit_rate": 0.98,
+            "scan_reduction": 0.999,
+        }
+    },
+}
+
+
+def test_identical_docs_pass():
+    deltas = compare_pipeline_docs(PIPE_BASE, copy.deepcopy(PIPE_BASE))
+    assert deltas and not any(d.regression for d in deltas)
+    deltas = compare_dtype_cache_docs(CACHE_BASE, copy.deepcopy(CACHE_BASE))
+    assert deltas and not any(d.regression for d in deltas)
+
+
+def test_bandwidth_drop_beyond_tolerance_is_regression():
+    cur = copy.deepcopy(PIPE_BASE)
+    m = cur["benchmarks"]["fig8_tile_read"]["datatype_io"]
+    m["mbps"] = 0.9  # -10% < -5% tolerance
+    deltas = compare_pipeline_docs(PIPE_BASE, cur)
+    bad = [d for d in deltas if d.regression]
+    assert [(d.metric, d.source) for d in bad] == [
+        ("mbps", "pipeline/fig8_tile_read/datatype_io")
+    ]
+    assert bad[0].change == pytest.approx(-0.1)
+
+
+def test_drop_within_tolerance_passes():
+    cur = copy.deepcopy(PIPE_BASE)
+    cur["benchmarks"]["fig8_tile_read"]["datatype_io"]["mbps"] = 0.96
+    deltas = compare_pipeline_docs(PIPE_BASE, cur)
+    assert not any(d.regression for d in deltas)
+
+
+def test_custom_tolerance_band():
+    cur = copy.deepcopy(PIPE_BASE)
+    cur["benchmarks"]["fig8_tile_read"]["datatype_io"]["mbps"] = 0.96
+    deltas = compare_pipeline_docs(PIPE_BASE, cur, tolerance=0.01)
+    assert any(d.regression and d.metric == "mbps" for d in deltas)
+
+
+def test_elapsed_and_busy_increase_are_regressions():
+    cur = copy.deepcopy(PIPE_BASE)
+    m = cur["benchmarks"]["fig8_tile_read"]["datatype_io"]
+    m["elapsed_s"] = 0.06  # +20%
+    m["server_stages"]["decode_s"] = 0.04  # busy 0.036 -> 0.056
+    deltas = compare_pipeline_docs(PIPE_BASE, cur)
+    bad = {d.metric for d in deltas if d.regression}
+    assert bad == {"elapsed_s", "server_busy_s"}
+
+
+def test_improvement_is_reported_not_failed():
+    cur = copy.deepcopy(PIPE_BASE)
+    cur["benchmarks"]["fig8_tile_read"]["datatype_io"]["mbps"] = 2.0
+    deltas = compare_pipeline_docs(PIPE_BASE, cur)
+    d = next(d for d in deltas if d.metric == "mbps")
+    assert not d.regression and d.improved
+
+
+def test_missing_method_is_coverage_regression():
+    cur = copy.deepcopy(PIPE_BASE)
+    del cur["benchmarks"]["fig8_tile_read"]["datatype_io"]
+    deltas = compare_pipeline_docs(PIPE_BASE, cur)
+    assert any(
+        d.regression and d.metric == "coverage" for d in deltas
+    )
+
+
+def test_missing_benchmark_is_coverage_regression():
+    cur = {"schema": 1, "benchmarks": {}}
+    deltas = compare_pipeline_docs(PIPE_BASE, cur)
+    assert any(d.regression and "missing" in d.note for d in deltas)
+
+
+def test_support_loss_is_regression_support_gain_is_not():
+    cur = copy.deepcopy(PIPE_BASE)
+    cur["benchmarks"]["fig8_tile_read"]["datatype_io"]["supported"] = False
+    deltas = compare_pipeline_docs(PIPE_BASE, cur)
+    assert any(d.regression and d.metric == "supported" for d in deltas)
+
+    # baseline-unsupported pair gaining support: nothing to compare
+    cur = copy.deepcopy(PIPE_BASE)
+    cur["benchmarks"]["fig8_tile_read"]["data_sieving"] = {
+        "supported": True,
+        "mbps": 1.0,
+        "elapsed_s": 1.0,
+        "server_stages": {k: 0.0 for k in PIPE_BASE["benchmarks"][
+            "fig8_tile_read"]["datatype_io"]["server_stages"]},
+    }
+    deltas = compare_pipeline_docs(PIPE_BASE, cur)
+    assert not any(d.regression for d in deltas)
+
+
+def test_dtype_cache_hit_rate_drop_is_regression():
+    cur = copy.deepcopy(CACHE_BASE)
+    cur["phases"]["shifted"]["hit_rate"] = 0.5
+    deltas = compare_dtype_cache_docs(CACHE_BASE, cur)
+    assert any(d.regression and d.metric == "hit_rate" for d in deltas)
+
+
+def test_compare_against_dir_requires_a_baseline(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        compare_against_dir(tmp_path)
+
+
+def test_compare_against_dir_with_injected_docs(tmp_path):
+    (tmp_path / "BENCH_pipeline.json").write_text(json.dumps(PIPE_BASE))
+    (tmp_path / "BENCH_dtype_cache.json").write_text(json.dumps(CACHE_BASE))
+    deltas, notes = compare_against_dir(
+        tmp_path,
+        pipeline_doc=copy.deepcopy(PIPE_BASE),
+        dtype_cache_doc=copy.deepcopy(CACHE_BASE),
+    )
+    assert notes == []
+    assert not any(d.regression for d in deltas)
+
+    regressed = copy.deepcopy(PIPE_BASE)
+    regressed["benchmarks"]["fig8_tile_read"]["datatype_io"]["mbps"] = 0.5
+    deltas, _ = compare_against_dir(
+        tmp_path,
+        pipeline_doc=regressed,
+        dtype_cache_doc=copy.deepcopy(CACHE_BASE),
+    )
+    assert any(d.regression for d in deltas)
+
+
+def test_compare_against_dir_skips_missing_files(tmp_path):
+    (tmp_path / "BENCH_pipeline.json").write_text(json.dumps(PIPE_BASE))
+    deltas, notes = compare_against_dir(
+        tmp_path, pipeline_doc=copy.deepcopy(PIPE_BASE)
+    )
+    assert len(notes) == 1 and "BENCH_dtype_cache.json" in notes[0]
+
+
+def test_render_compare_verdicts():
+    cur = copy.deepcopy(PIPE_BASE)
+    cur["benchmarks"]["fig8_tile_read"]["datatype_io"]["mbps"] = 0.5
+    text = render_compare(compare_pipeline_docs(PIPE_BASE, cur))
+    assert "REGRESSION" in text
+    assert "1 regression(s)" in text
+    assert f"±{DEFAULT_TOLERANCE:.1%}" in text
+
+
+def test_cli_compare_exit_codes(tmp_path, capsys):
+    """End-to-end through the CLI: exit 0 clean, SystemExit on regression."""
+    from repro.bench import cli
+    from repro.bench import compare as compare_mod
+
+    (tmp_path / "BENCH_pipeline.json").write_text(json.dumps(PIPE_BASE))
+
+    docs = {"doc": copy.deepcopy(PIPE_BASE)}
+    orig = compare_mod.compare_against_dir
+
+    def fake_compare(baseline_dir, tolerance, **kw):
+        return orig(baseline_dir, tolerance, pipeline_doc=docs["doc"])
+
+    compare_mod.compare_against_dir = fake_compare
+    try:
+        assert (
+            cli.main(["compare", "--baseline", str(tmp_path)]) == 0
+        )
+        docs["doc"] = copy.deepcopy(PIPE_BASE)
+        docs["doc"]["benchmarks"]["fig8_tile_read"]["datatype_io"][
+            "mbps"
+        ] = 0.5
+        with pytest.raises(SystemExit, match="regression"):
+            cli.main(["compare", "--baseline", str(tmp_path)])
+    finally:
+        compare_mod.compare_against_dir = orig
+    capsys.readouterr()

@@ -1,0 +1,84 @@
+"""Metrics must be pure observation: zero cost off, zero skew on.
+
+Same acceptance bar as tracing (``tests/trace/test_disabled.py``): a
+run with ``metrics=True`` reports *exactly* the same simulated timings
+and counters as one with ``metrics=False`` — the sampler rides the
+engine's clock hook and watches the clock, it never advances it.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.runner import run_workload
+from repro.bench.workloads import TileWorkload
+from repro.metrics import NULL_METRICS
+from repro.pvfs import PVFS, PVFSConfig
+from repro.simulation import Environment
+
+METHODS = ["posix", "list_io", "datatype_io", "two_phase"]
+
+
+def run(method, metrics, **kw):
+    wl = TileWorkload.reduced(frames=2)
+    return run_workload(
+        wl, method, phantom=True, config=PVFSConfig(metrics=metrics, **kw)
+    )
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_metered_run_is_bit_identical(method):
+    on = run(method, True)
+    off = run(method, False)
+    assert on.elapsed == off.elapsed  # exact float equality, not approx
+    assert on.io_ops == off.io_ops
+    assert on.accessed_bytes == off.accessed_bytes
+    assert on.resent_bytes == off.resent_bytes
+    assert on.request_desc_bytes == off.request_desc_bytes
+    assert on.server_stats == off.server_stats
+    assert on.pipeline.total.as_dict() == off.pipeline.total.as_dict()
+    assert dataclasses.asdict(on.network) == dataclasses.asdict(off.network)
+
+
+def test_sampling_cadence_does_not_skew_timing():
+    # a 100x finer sampling interval takes 100x more samples but must
+    # not move the simulated clock by a single ULP
+    coarse = run("datatype_io", True, metrics_interval=1e-3)
+    fine = run("datatype_io", True, metrics_interval=1e-5)
+    assert fine.metrics.samples > coarse.metrics.samples
+    assert fine.elapsed == coarse.elapsed
+
+
+def test_disabled_run_records_nothing():
+    off = run("datatype_io", False)
+    assert off.metrics is None
+    assert off.servers == []
+
+
+def test_default_config_uses_null_metrics():
+    fs = PVFS(Environment())
+    assert fs.metrics is NULL_METRICS
+    assert fs.net.metrics is NULL_METRICS
+    assert fs.env.clock_hook is None
+
+
+def test_enabled_run_attaches_hub():
+    on = run("datatype_io", True)
+    assert on.metrics is not None
+    assert on.metrics.samples > 0
+    assert len(on.metrics.registry) > 0
+    assert len(on.servers) == 16
+
+
+def test_metered_run_with_threads_is_bit_identical():
+    on = run("datatype_io", True, server_threads=4)
+    off = run("datatype_io", False, server_threads=4)
+    assert on.elapsed == off.elapsed
+    assert on.pipeline.total.as_dict() == off.pipeline.total.as_dict()
+
+
+def test_tracing_and_metrics_compose():
+    both = run("datatype_io", True, trace=True)
+    neither = run("datatype_io", False)
+    assert both.elapsed == neither.elapsed
+    assert both.tracer is not None and both.metrics is not None
