@@ -172,11 +172,46 @@ def cmd_metrics(args, out):
         print(f"[saved {path}]", file=sys.stderr)
 
 
+def cmd_faults(args, out):
+    """Fault-injection severity sweep (BENCH_faults.json) / chaos smoke."""
+    from .faultscmd import main_smoke, write_faults_bench
+
+    if args.smoke:
+        main_smoke(args.method)
+        print(
+            "[faults smoke OK: heavy preset recovered, deterministic, "
+            "reconciled]",
+            file=sys.stderr,
+        )
+        if out is None:
+            return
+    path, doc = write_faults_bench(out)
+    for method, severities in doc["methods"].items():
+        cells = []
+        for level, entry in severities.items():
+            if not entry.get("supported"):
+                cells.append(f"{level}=n/a")
+                continue
+            flag = "*" if entry["degraded"] else ""
+            cells.append(f"{level}={entry['mbps']:g}{flag}")
+        print(f"{method}: " + "  ".join(cells) + "  (MiB/s, *=degraded)")
+    print(f"[saved {path}]", file=sys.stderr)
+
+
 def cmd_compare(args, out):
     """Regression gate: fresh run vs checked-in BENCH_*.json baselines."""
-    from .compare import DEFAULT_TOLERANCE, compare_against_dir, render_compare
+    from .compare import (
+        DEFAULT_TOLERANCE,
+        compare_against_dir,
+        render_compare,
+        update_baselines,
+    )
 
     baseline = args.baseline or pathlib.Path("results")
+    if args.update_baseline:
+        for path in update_baselines(baseline):
+            print(f"[updated {path}]", file=sys.stderr)
+        return
     tolerance = (
         args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
     )
@@ -230,6 +265,7 @@ COMMANDS = {
     "dtype-cache": cmd_dtype_cache,
     "trace": cmd_trace,
     "metrics": cmd_metrics,
+    "faults": cmd_faults,
     "compare": cmd_compare,
     "validate": cmd_validate,
     "table1": cmd_table1,
@@ -297,8 +333,10 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="trace/metrics: verify only (metrics also replays with "
-        "collection off and requires bit-identical timing); skip "
+        help="trace/metrics/faults: verify only (metrics also replays "
+        "with collection off and requires bit-identical timing; faults "
+        "runs the chaos gate: heavy preset must recover, replay "
+        "deterministically and keep traces/metrics reconciled); skip "
         "writing artifacts unless --out is given (CI gate)",
     )
     parser.add_argument(
@@ -318,6 +356,12 @@ def main(argv=None) -> int:
         "--trace",
         action="store_true",
         help="json: include per-method span summaries in the baseline",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="compare: re-collect the benchmark documents and overwrite "
+        "the baseline files instead of gating against them",
     )
     args = parser.parse_args(argv)
 

@@ -3,8 +3,9 @@
 Re-collects the machine-independent benchmark documents
 (``BENCH_pipeline.json`` via :func:`repro.bench.baseline
 .collect_pipeline_baseline`, ``BENCH_dtype_cache.json`` via
-:func:`repro.bench.dtype_cache.collect`) and diffs them against the
-checked-in copies under ``results/``.  Every compared quantity is a
+:func:`repro.bench.dtype_cache.collect`, ``BENCH_faults.json`` via
+:func:`repro.bench.faultscmd.collect_faults_bench`) and diffs them
+against the checked-in copies under ``results/``.  Every compared quantity is a
 *simulated* figure (bandwidth, simulated elapsed seconds, server stage
 busy time, cache hit rate), so the gate is deterministic: any change
 beyond the tolerance band is a real behavioural change of the code, not
@@ -30,9 +31,11 @@ __all__ = [
     "DEFAULT_TOLERANCE",
     "Delta",
     "compare_dtype_cache_docs",
+    "compare_faults_docs",
     "compare_pipeline_docs",
     "compare_against_dir",
     "render_compare",
+    "update_baselines",
 ]
 
 #: Relative tolerance band (±5 %) applied to every compared metric.
@@ -171,12 +174,67 @@ def compare_dtype_cache_docs(
     return deltas
 
 
+def compare_faults_docs(
+    base: dict, cur: dict, tolerance: float = DEFAULT_TOLERANCE
+) -> list[Delta]:
+    """Diff two ``BENCH_faults.json`` documents (baseline, current).
+
+    Degraded-mode bandwidth and elapsed time are fully deterministic
+    (fault decisions replay from the seeded plan), so they gate exactly
+    like the fault-free pipeline numbers: bandwidth down or elapsed up
+    beyond tolerance under any severity is a real failover/recovery
+    regression.
+    """
+    deltas: list[Delta] = []
+    for method, severities in base.get("methods", {}).items():
+        cur_severities = cur.get("methods", {}).get(method)
+        if cur_severities is None:
+            deltas.append(
+                Delta(
+                    f"faults/{method}", "coverage", None, None, 0.0,
+                    True, "method missing from current run",
+                )
+            )
+            continue
+        for level, b in severities.items():
+            source = f"faults/{method}/{level}"
+            c = cur_severities.get(level)
+            if c is None:
+                deltas.append(
+                    Delta(
+                        source, "coverage", None, None, 0.0,
+                        True, "severity missing from current run",
+                    )
+                )
+                continue
+            if not b.get("supported"):
+                continue
+            if not c.get("supported"):
+                deltas.append(
+                    Delta(
+                        source, "supported", 1.0, 0.0, -1.0,
+                        True, "was supported in baseline",
+                    )
+                )
+                continue
+            _diff(
+                deltas, source, "mbps", b["mbps"], c["mbps"],
+                tolerance, higher_is_better=True,
+            )
+            _diff(
+                deltas, source, "elapsed_s", b["elapsed_s"], c["elapsed_s"],
+                tolerance, higher_is_better=False,
+            )
+    return deltas
+
+
 def compare_against_dir(
     baseline_dir: pathlib.Path,
     tolerance: float = DEFAULT_TOLERANCE,
     *,
     pipeline_doc: Optional[dict] = None,
     dtype_cache_doc: Optional[dict] = None,
+    faults_doc: Optional[dict] = None,
 ) -> tuple[list[Delta], list[str]]:
     """Re-collect fresh benchmark docs and diff against ``baseline_dir``.
 
@@ -220,11 +278,70 @@ def compare_against_dir(
     else:
         notes.append(f"skipped: {cache_path} not found")
 
+    faults_path = baseline_dir / "BENCH_faults.json"
+    if faults_path.exists():
+        found += 1
+        base = json.loads(faults_path.read_text())
+        if faults_doc is None:
+            from .faultscmd import collect_faults_bench
+
+            faults_doc = collect_faults_bench(seed=base.get("seed", 1234))
+        deltas.extend(compare_faults_docs(base, faults_doc, tolerance))
+    else:
+        notes.append(f"skipped: {faults_path} not found")
+
     if not found:
         raise FileNotFoundError(
             f"no BENCH_*.json baselines under {baseline_dir}"
         )
     return deltas, notes
+
+
+def update_baselines(
+    baseline_dir: pathlib.Path,
+    *,
+    pipeline_doc: Optional[dict] = None,
+    dtype_cache_doc: Optional[dict] = None,
+    faults_doc: Optional[dict] = None,
+) -> list[pathlib.Path]:
+    """Re-collect every benchmark document and overwrite the baselines.
+
+    The refresh path of the compare gate (``repro-bench compare
+    --update-baseline``): run after an intentional behavioural change so
+    the new simulated figures become the gated reference.  Returns the
+    written paths.  The ``*_doc`` keyword arguments inject pre-collected
+    documents (tests); absent ones are collected fresh.
+    """
+    baseline_dir = pathlib.Path(baseline_dir)
+    baseline_dir.mkdir(parents=True, exist_ok=True)
+    written: list[pathlib.Path] = []
+
+    if pipeline_doc is None:
+        from .baseline import collect_pipeline_baseline
+
+        pipeline_doc = collect_pipeline_baseline()
+    path = baseline_dir / "BENCH_pipeline.json"
+    path.write_text(json.dumps(pipeline_doc, indent=2, sort_keys=True) + "\n")
+    written.append(path)
+
+    if dtype_cache_doc is None:
+        from .dtype_cache import CachePhase, collect
+
+        dtype_cache_doc = collect(CachePhase.full(), repeats=1)
+    path = baseline_dir / "BENCH_dtype_cache.json"
+    path.write_text(
+        json.dumps(dtype_cache_doc, indent=2, sort_keys=True) + "\n"
+    )
+    written.append(path)
+
+    if faults_doc is None:
+        from .faultscmd import collect_faults_bench
+
+        faults_doc = collect_faults_bench()
+    path = baseline_dir / "BENCH_faults.json"
+    path.write_text(json.dumps(faults_doc, indent=2, sort_keys=True) + "\n")
+    written.append(path)
+    return written
 
 
 def render_compare(

@@ -44,6 +44,11 @@ class RunResult:
     #: Metrics hub (finalized); populated only when the run used
     #: ``PVFSConfig(metrics=True)``.
     metrics: Optional[MetricsHub] = None
+    #: Fault injector of the finished run; populated only when the run
+    #: used ``PVFSConfig(faults=...)``.
+    faults: Optional[object] = None
+    #: True iff at least one fault was actually injected.
+    degraded: bool = False
     #: The I/O servers of the finished run (imbalance reporting).
     servers: list = field(default_factory=list)
     note: str = ""
@@ -189,6 +194,9 @@ def run_workload(
         fs.metrics.finalize()
         result.metrics = fs.metrics
         result.servers = fs.servers
+    if fs.faults.enabled:
+        result.faults = fs.faults
+        result.degraded = fs.faults.degraded
     return result
 
 

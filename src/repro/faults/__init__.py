@@ -1,0 +1,34 @@
+"""Deterministic, config-gated fault injection for the simulated cluster.
+
+Arm with ``PVFSConfig(faults=FaultConfig(...))``: disk slowdowns and
+stalls in the server storage stage, dropped and duplicated data-path
+messages, and server crash windows — all drawn from seeded,
+counter-keyed streams so a ``(workload, seed, fault config)`` triple
+replays bit-for-bit.  Clients survive through per-RPC timeouts with
+exponential backoff and bounded retries; exhausted retries raise a
+typed :class:`~repro.pvfs.errors.RetriesExhausted`.  ``faults=None``
+(the default) is float-equality identical to a build that never heard
+of fault injection.  See ``docs/observability.md`` (Part III).
+"""
+
+from .core import (
+    NULL_FAULTS,
+    SEVERITY_LEVELS,
+    FaultConfig,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    NullFaults,
+    severity_config,
+)
+
+__all__ = [
+    "FaultConfig",
+    "FaultPlan",
+    "FaultEvent",
+    "FaultInjector",
+    "NullFaults",
+    "NULL_FAULTS",
+    "SEVERITY_LEVELS",
+    "severity_config",
+]

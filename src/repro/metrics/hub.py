@@ -95,6 +95,12 @@ class MetricsHub:
             "repro_net_inflight_bytes",
             "Bytes reserved on NICs but not yet delivered",
         )
+        # fault-injection instruments, created lazily per fault kind so
+        # a fault-free metered run exports no fault families at all
+        self._c_faults: dict[str, object] = {}
+        self._c_fault_stall = None
+        self._c_timeouts = None
+        self._c_failovers = None
 
     # ------------------------------------------------------------------
     # wiring
@@ -153,6 +159,47 @@ class MetricsHub:
 
     def retry(self) -> None:
         self._c_retries.inc()
+
+    def fault(self, kind: str) -> None:
+        c = self._c_faults.get(kind)
+        if c is None:
+            c = self.registry.counter(
+                "repro_fault_events",
+                "Injected faults (repro.faults), by kind",
+                kind=kind,
+            )
+            self._c_faults[kind] = c
+        c.inc()
+
+    def fault_stall(self, seconds: float) -> None:
+        c = self._c_fault_stall
+        if c is None:
+            c = self.registry.counter(
+                "repro_fault_stall_seconds",
+                "Storage-stage seconds injected by disk faults",
+            )
+            self._c_fault_stall = c
+        c.inc(seconds)
+
+    def timeout(self) -> None:
+        c = self._c_timeouts
+        if c is None:
+            c = self.registry.counter(
+                "repro_client_timeouts",
+                "Client RPC response timeouts (fault injection)",
+            )
+            self._c_timeouts = c
+        c.inc()
+
+    def failover(self) -> None:
+        c = self._c_failovers
+        if c is None:
+            c = self.registry.counter(
+                "repro_client_failovers",
+                "Client requests that succeeded after >=1 timeout",
+            )
+            self._c_failovers = c
+        c.inc()
 
     # ------------------------------------------------------------------
     # periodic sampling (engine clock hook)
@@ -277,6 +324,18 @@ class NullMetrics:
         pass
 
     def retry(self) -> None:
+        pass
+
+    def fault(self, kind) -> None:
+        pass
+
+    def fault_stall(self, seconds) -> None:
+        pass
+
+    def timeout(self) -> None:
+        pass
+
+    def failover(self) -> None:
         pass
 
     def on_clock(self, prev_now, next_t) -> None:

@@ -34,7 +34,14 @@ from .system import PVFS
 from .client import PVFSClient, FileHandle
 from .distribution import Distribution
 from .jobs import Job, ServerPlan, build_jobs
-from .errors import PVFSError, FileNotFound, LockUnsupported, ProtocolError
+from .errors import (
+    PVFSError,
+    FileNotFound,
+    LockUnsupported,
+    ProtocolError,
+    RetriesExhausted,
+    ServerTimeout,
+)
 from .pipeline import (
     HANDLER_REGISTRY,
     RequestHandler,
@@ -55,6 +62,8 @@ __all__ = [
     "FileNotFound",
     "LockUnsupported",
     "ProtocolError",
+    "RetriesExhausted",
+    "ServerTimeout",
     "HANDLER_REGISTRY",
     "RequestHandler",
     "register_handler",

@@ -33,7 +33,7 @@ import numpy as np
 from ..dataloops import Dataloop, DataloopStream
 from ..regions import Regions
 from .distribution import Distribution
-from .errors import PVFSError
+from .errors import PVFSError, RetriesExhausted
 from .jobs import Job, build_jobs
 from .protocol import (
     OP_CONTIG,
@@ -63,6 +63,8 @@ class ClientCounters:
     bytes_written: int = 0  #: file data sent
     regions_shipped: int = 0  #: offset-length pairs sent in list requests
     retries: int = 0  #: resends after server admission-control rejection
+    timeouts: int = 0  #: RPC response timeouts (fault injection only)
+    failovers: int = 0  #: requests that succeeded after >=1 timeout
 
     def reset(self) -> None:
         self.io_ops = 0
@@ -72,6 +74,8 @@ class ClientCounters:
         self.bytes_written = 0
         self.regions_shipped = 0
         self.retries = 0
+        self.timeouts = 0
+        self.failovers = 0
 
 
 @dataclass
@@ -82,6 +86,20 @@ class FileHandle:
     path: str
     dist: Distribution
     size: int = 0
+
+
+class _TimeoutMarker:
+    """Sentinel an armed RPC timer drops straight into the client
+    mailbox.  Using the mailbox itself (rather than an ``AnyOf`` wait)
+    keeps the timed receive path's event-hop structure identical to the
+    untimed one, so arming an inert fault config cannot perturb
+    timings."""
+
+    __slots__ = ("owner", "live")
+
+    def __init__(self, owner: int):
+        self.owner = owner  #: req_id the timer belongs to
+        self.live = True  #: cleared once the owning wait has resolved
 
 
 class _OpGroup:
@@ -119,6 +137,9 @@ class PVFSClient:
         # responses that arrived while another operation was waiting
         # (concurrent nonblocking operations share this mailbox)
         self._resp_stash: dict[int, object] = {}
+        # request ids already answered — late or duplicated responses
+        # (fault injection) are discarded instead of stashed
+        self._done_reqs: set[int] = set()
 
     # ------------------------------------------------------------------
     # metadata operations
@@ -166,19 +187,79 @@ class PVFSClient:
         """Receive the response for ``req_id``, stashing others.
 
         Multiple operations may be outstanding concurrently (nonblocking
-        MPI-IO); responses are matched by request id.
+        MPI-IO); responses are matched by request id.  With fault
+        injection armed, another wait's timeout marker may surface here:
+        live foreign markers are held and re-queued on exit (re-queueing
+        immediately would bounce them straight back to this waiter),
+        dead ones are dropped.
         """
         env = self.system.env
         costs = self.system.costs
-        while True:
-            if req_id in self._resp_stash:
-                return self._resp_stash.pop(req_id)
-            msg = yield self.mailbox.get()
-            yield env.timeout(costs.per_message_cpu)
-            resp = msg.payload
-            if getattr(resp, "req_id", None) == req_id:
-                return resp
-            self._resp_stash[resp.req_id] = resp
+        held: list[_TimeoutMarker] = []
+        try:
+            while True:
+                if req_id in self._resp_stash:
+                    return self._resp_stash.pop(req_id)
+                msg = yield self.mailbox.get()
+                if isinstance(msg, _TimeoutMarker):
+                    if msg.live:
+                        held.append(msg)
+                    continue
+                yield env.timeout(costs.per_message_cpu)
+                resp = msg.payload
+                rid = getattr(resp, "req_id", None)
+                if rid == req_id:
+                    return resp
+                if rid not in self._done_reqs:
+                    self._resp_stash[rid] = resp
+        finally:
+            for m in held:
+                if m.live:
+                    self.mailbox._store.put(m)
+
+    def _await_response_timed(self, req_id: int, timeout: float):
+        """Like :meth:`_await_response`, bounded by an RPC timer.
+
+        Returns the matched response, or ``None`` on timeout.  The
+        timer drops a :class:`_TimeoutMarker` into the mailbox (see
+        that class for why); the marker is killed on exit so a late
+        firing after the response arrived injects nothing.  Late and
+        duplicated responses for already-answered requests are consumed
+        and discarded.
+        """
+        env = self.system.env
+        costs = self.system.costs
+        marker = _TimeoutMarker(req_id)
+
+        def _fire(_ev, m=marker):
+            if m.live:
+                self.mailbox._store.put(m)
+
+        env.call_later(timeout, _fire)
+        held: list[_TimeoutMarker] = []
+        try:
+            while True:
+                if req_id in self._resp_stash:
+                    return self._resp_stash.pop(req_id)
+                msg = yield self.mailbox.get()
+                if isinstance(msg, _TimeoutMarker):
+                    if msg is marker:
+                        return None
+                    if msg.live:
+                        held.append(msg)
+                    continue
+                yield env.timeout(costs.per_message_cpu)
+                resp = msg.payload
+                rid = getattr(resp, "req_id", None)
+                if rid == req_id:
+                    return resp
+                if rid not in self._done_reqs:
+                    self._resp_stash[rid] = resp
+        finally:
+            marker.live = False
+            for m in held:
+                if m.live:
+                    self.mailbox._store.put(m)
 
     # ------------------------------------------------------------------
     # contiguous (POSIX-style) access
@@ -739,6 +820,7 @@ class PVFSClient:
                 req.trace_id = span.trace_id
                 req.trace_parent = rpc.span_id
                 rpc_spans[req.req_id] = rpc
+        faults = self.system.faults
         responses: dict[int, IOResponse] = {}
         for req, _spos, _regions in requests:
             if metrics.enabled:
@@ -746,6 +828,12 @@ class PVFSClient:
             yield from self._send_io(req)
         for req, _spos, _regions in requests:
             rpc = rpc_spans.get(req.req_id)
+            if faults.enabled and faults.armed:
+                resp = yield from self._collect_faulty(
+                    req, rpc, t_sent.get(req.req_id, 0.0)
+                )
+                responses[resp.req_id] = resp
+                continue
             while True:
                 resp: IOResponse = yield from self._await_response(
                     req.req_id
@@ -776,6 +864,88 @@ class PVFSClient:
                 break
         return responses
 
+    def _collect_faulty(self, req: IORequest, rpc, t_sent: float):
+        """Collect one response under an armed fault injector.
+
+        The one recovery path for dropped messages and crashed servers:
+        a per-RPC timeout with exponential backoff and bounded resends.
+        Because striped transfers fan one operation out over many
+        requests, resending just the timed-out request *is* job-level
+        resume — the already-answered stripes are never re-shipped.
+        Every attempt reuses the request id, so writes are idempotent
+        and duplicated responses deduplicate naturally.  A request
+        whose every retry times out raises
+        :class:`~repro.pvfs.errors.RetriesExhausted` — never a hang.
+        """
+        env = self.system.env
+        cfg = self.system.config
+        tracer = self.system.tracer
+        metrics = self.system.metrics
+        faults = self.system.faults
+        fcfg = faults.config
+        attempts = 0
+        while True:
+            # the deadline doubles per consecutive timeout (TCP RTO
+            # style): a base deadline shorter than a large transfer's
+            # legitimate wire time would otherwise time out forever,
+            # while crashed-server recovery stays one base deadline away
+            deadline = fcfg.rpc_timeout * (2 ** min(attempts, 20))
+            resp = yield from self._await_response_timed(
+                req.req_id, deadline
+            )
+            if resp is None:
+                attempts += 1
+                self.counters.timeouts += 1
+                if metrics.enabled:
+                    metrics.timeout()
+                faults.rpc_timeout(self.name, req, attempts, rpc)
+                if attempts > fcfg.max_retries:
+                    faults.rpc_exhausted(self.name, req, attempts, rpc)
+                    msg = (
+                        f"server iod{req.server} unresponsive: request "
+                        f"{req.req_id} from {self.name} gave up after "
+                        f"{attempts} timeouts"
+                    )
+                    if rpc is not None:
+                        tracer.end(rpc, error=msg)
+                    raise RetriesExhausted(
+                        msg,
+                        job_id=req.req_id,
+                        server=req.server,
+                        client=self.name,
+                        attempts=attempts,
+                    )
+                backoff = fcfg.retry_backoff * (2 ** (attempts - 1))
+                if backoff > 0:
+                    yield env.timeout(backoff)
+                yield from self._send_io(req)
+                continue
+            if resp.rejected:
+                self.counters.retries += 1
+                if metrics.enabled:
+                    metrics.retry()
+                if rpc is not None:
+                    rpc.attrs["retries"] = rpc.attrs.get("retries", 0) + 1
+                if cfg.server_retry_backoff > 0:
+                    yield env.timeout(cfg.server_retry_backoff)
+                yield from self._send_io(req)
+                continue
+            if resp.error:
+                if rpc is not None:
+                    tracer.end(rpc, error=resp.error)
+                raise PVFSError(resp.error)
+            self._done_reqs.add(req.req_id)
+            if attempts:
+                self.counters.failovers += 1
+                if metrics.enabled:
+                    metrics.failover()
+                faults.rpc_failover(self.name, req, attempts, rpc)
+            if metrics.enabled:
+                metrics.observe_rpc(env.now - t_sent, req.op_kind)
+            if rpc is not None:
+                tracer.end(rpc, nbytes=resp.nbytes, timeouts=attempts)
+            return resp
+
     def _send_io(self, req: IORequest):
         """Ship one I/O request (counted; used for sends and resends)."""
         net = self.system.net
@@ -793,4 +963,5 @@ class PVFSClient:
             req.wire_bytes(costs),
             payload=req,
             pace=False,
+            faultable=True,
         )

@@ -3,6 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
+
+from ..faults import FaultConfig
 
 __all__ = ["PVFSConfig"]
 
@@ -97,6 +100,16 @@ class PVFSConfig:
     #: seconds (default 1 ms; typical paper-scale runs span tens of
     #: milliseconds to seconds).
     metrics_interval: float = 1e-3
+    #: Deterministic fault injection (``repro.faults``): a
+    #: :class:`~repro.faults.FaultConfig` arms seeded disk
+    #: slowdown/stall, message drop/duplication and server-crash
+    #: injection, plus the client's timeout + exponential-backoff
+    #: failover path.  Every fault decision is drawn from counter-keyed
+    #: streams seeded by ``FaultConfig.seed`` (never the wall clock),
+    #: so a (workload, seed, fault config) triple replays bit-for-bit.
+    #: ``None`` (default) disarms the machinery entirely and is
+    #: float-equality identical to a build without it.
+    faults: Optional[FaultConfig] = None
     #: Whether byte-range locking is available (PVFS: no).
     supports_locking: bool = False
     #: Collapse runs of consecutive synchronous requests from one
@@ -127,3 +140,14 @@ class PVFSConfig:
             raise ValueError("server_retry_backoff must be non-negative")
         if self.metrics_interval <= 0:
             raise ValueError("metrics_interval must be positive")
+        if self.faults is not None and not isinstance(
+            self.faults, FaultConfig
+        ):
+            raise ValueError("faults must be a FaultConfig or None")
+        if self.faults is not None:
+            for s, _t0, _t1 in self.faults.server_crashes:
+                if s >= self.n_servers:
+                    raise ValueError(
+                        f"crash window names server {s} but the file "
+                        f"system has {self.n_servers}"
+                    )

@@ -277,6 +277,7 @@ def send_error(server: "IOServer", req: IORequest, exc: Exception):
         costs.header_bytes,
         payload=resp,
         pace=False,
+        faultable=True,
     )
 
 
@@ -299,6 +300,7 @@ def _respond(server: "IOServer", req: IORequest, resp: IOResponse, parent=None):
         resp.wire_bytes(server.system.costs, req.is_write),
         payload=resp,
         pace=False,
+        faultable=True,
     )
     dt = env.now - t0
     server.stage_times.respond += dt
@@ -454,6 +456,18 @@ class SerialScheduler:
         plan = handler.plan(server, req)
         server.record_plan(plan)
         disk_time = server.disk.access_time(plan.regions)
+        faults = server.system.faults
+        if faults.enabled and disk_time > 0:
+            # injected slowdown/stall folds into the effective media
+            # time, so StageTimes, the storage histogram and the
+            # storage span all agree without special-casing
+            disk_time += faults.disk_penalty(
+                f"iod{server.index}",
+                disk_time,
+                t_start=env.now + plan.proc_cost + plan.cache_cost,
+                trace_id=req.trace_id,
+                parent=span,
+            )
         busy = plan.proc_cost + plan.cache_cost + disk_time
         t1 = env.now
         if busy > 0:
@@ -666,6 +680,15 @@ class ThreadedScheduler:
         try:
             t3 = env.now
             disk_time = server.disk.access_time(plan.regions)
+            faults = server.system.faults
+            if faults.enabled and disk_time > 0:
+                disk_time += faults.disk_penalty(
+                    f"iod{server.index}",
+                    disk_time,
+                    t_start=t3,
+                    trace_id=req.trace_id,
+                    parent=span,
+                )
             if disk_time > 0:
                 yield env.timeout(disk_time)
         finally:

@@ -105,6 +105,12 @@ class IOServer:
                 )
                 continue
             req: IORequest = payload
+            faults = self.system.faults
+            if faults.enabled and faults.server_down(self.index):
+                # crashed daemon: the request is silently discarded —
+                # the client's RPC timer is the only recovery path
+                faults.crash_drop(self.index, req)
+                continue
             queue_wait = 0.0
             if self.system.tracer.enabled or self.system.metrics.enabled:
                 queue_wait = env.now - msg.t_enqueued

@@ -21,6 +21,7 @@ from ..simulation import (
     ServerPipelineSummary,
     summarize_servers,
 )
+from ..faults import NULL_FAULTS, FaultInjector
 from ..metrics import NULL_METRICS, MetricsHub
 from ..trace import NULL_TRACER, TraceRecorder
 from .client import PVFSClient
@@ -63,6 +64,16 @@ class PVFS:
             else NULL_METRICS
         )
         self.net.metrics = self.metrics
+        #: Fault injector (``repro.faults``); live only with
+        #: ``config.faults``, otherwise the disarmed singleton.
+        self.faults = (
+            FaultInjector(
+                env, config.faults, tracer=self.tracer, metrics=self.metrics
+            )
+            if config.faults is not None
+            else NULL_FAULTS
+        )
+        self.net.faults = self.faults
 
         self.servers: list[IOServer] = []
         for i in range(config.n_servers):

@@ -314,6 +314,21 @@ class Environment:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
 
+    def call_later(
+        self, delay: float, fn: Callable[[Event], None]
+    ) -> Timeout:
+        """Schedule ``fn(event)`` to run in ``delay`` seconds.
+
+        A plain timeout + callback, packaged because detached one-shot
+        actions (message delivery, fault-injection timers) are not
+        processes: nothing suspends on them, and the callback must not
+        create further events at trigger time beyond what a process
+        resume could.
+        """
+        ev = Timeout(self, delay)
+        ev.add_callback(fn)
+        return ev
+
     def process(self, gen, name: str = "") -> Process:
         return Process(self, gen, name)
 

@@ -23,12 +23,21 @@ A message send:
 ``pace=True`` (default) suspends the sender until its bytes have left
 the NIC (a blocking socket); servers pass ``pace=False`` so a response
 drains in the background while the daemon handles its next request.
+
+``faultable=True`` marks client↔iod data-path messages as eligible for
+fault injection (``repro.faults``): with an armed injector such a
+message may be *dropped* (the bytes still cross the wire — the
+reservations and byte counters stand — but the mailbox never hears of
+it) or *duplicated* (a ghost copy arrives one extra latency later,
+charged to no NIC: a retransmission artifact, not new traffic).
+Control traffic (metadata, MPI exchanges, loopback) never sets it.
 """
 
 from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
+from ..faults import NULL_FAULTS
 from ..metrics import NULL_METRICS
 from ..trace import NULL_TRACER
 from .costs import CostModel
@@ -117,6 +126,9 @@ class Network:
         self.tracer = NULL_TRACER
         #: Metrics hub (``repro.metrics``); same pattern as the tracer.
         self.metrics = NULL_METRICS
+        #: Fault injector (``repro.faults``); the disarmed singleton by
+        #: default — ``PVFS`` swaps in a live one when faults are armed.
+        self.faults = NULL_FAULTS
 
     # ------------------------------------------------------------------
     def node(self, name: str) -> Node:
@@ -171,6 +183,7 @@ class Network:
         latency: Optional[float] = None,
         per_msg_cpu: Optional[float] = None,
         bandwidth: Optional[float] = None,
+        faultable: bool = False,
     ) -> Generator[Event, Any, None]:
         """Transfer a message; ``yield from`` this inside a process.
 
@@ -217,7 +230,22 @@ class Network:
                 nbytes=nbytes,
             )
         deliver_delay = (end - env.now) + lat
-        _deliver_later(env, dst, msg, deliver_delay, metrics)
+        faults = self.faults
+        verdict = (
+            faults.net_fault(src.node.name, dst.node.name, nbytes, payload)
+            if faultable and faults.enabled
+            else None
+        )
+        if verdict == "drop":
+            _discard_later(env, msg, deliver_delay, metrics)
+        else:
+            _deliver_later(env, dst, msg, deliver_delay, metrics)
+            if verdict == "dup":
+                # the ghost copy: one extra latency late, free of NIC
+                # reservations and counters (a retransmission artifact,
+                # not new traffic — receivers must deduplicate)
+                dup = Message(src, payload, nbytes, tag)
+                _deliver_later(env, dst, dup, deliver_delay + lat)
         if pace and end > env.now:
             yield env.timeout(end - env.now)
 
@@ -253,7 +281,6 @@ def _deliver_later(
         msg.t_enqueued = env.now
         dst._store.put(msg)
         return
-    ev = env.timeout(delay)
 
     def _put(_ev):
         if metrics.enabled:
@@ -261,4 +288,25 @@ def _deliver_later(
         msg.t_enqueued = env.now
         dst._store.put(msg)
 
-    ev.add_callback(_put)
+    env.call_later(delay, _put)
+
+
+def _discard_later(
+    env: Environment,
+    msg: Message,
+    delay: float,
+    metrics=NULL_METRICS,
+):
+    """A dropped message: the bytes crossed the wire (reservations and
+    byte counters already stand) but delivery never happens.  Only the
+    in-flight gauge needs settling at the would-be delivery instant."""
+    if delay <= 0:
+        if metrics.enabled:
+            metrics.inflight(-msg.nbytes)
+        return
+
+    def _gone(_ev):
+        if metrics.enabled:
+            metrics.inflight(-msg.nbytes)
+
+    env.call_later(delay, _gone)

@@ -9,8 +9,10 @@ from repro.bench.compare import (
     DEFAULT_TOLERANCE,
     compare_against_dir,
     compare_dtype_cache_docs,
+    compare_faults_docs,
     compare_pipeline_docs,
     render_compare,
+    update_baselines,
 )
 
 PIPE_BASE = {
@@ -43,6 +45,18 @@ CACHE_BASE = {
             "sim_speedup": 1.03,
             "hit_rate": 0.98,
             "scan_reduction": 0.999,
+        }
+    },
+}
+
+FAULTS_BASE = {
+    "schema": 1,
+    "seed": 1234,
+    "methods": {
+        "datatype_io": {
+            "none": {"supported": True, "mbps": 0.5, "elapsed_s": 1.0},
+            "heavy": {"supported": True, "mbps": 0.1, "elapsed_s": 4.0},
+            "unusual": {"supported": False, "note": "n/a"},
         }
     },
 }
@@ -140,6 +154,50 @@ def test_dtype_cache_hit_rate_drop_is_regression():
     assert any(d.regression and d.metric == "hit_rate" for d in deltas)
 
 
+def test_faults_identical_docs_pass():
+    deltas = compare_faults_docs(FAULTS_BASE, copy.deepcopy(FAULTS_BASE))
+    assert deltas and not any(d.regression for d in deltas)
+
+
+def test_faults_degraded_bandwidth_drop_is_regression():
+    cur = copy.deepcopy(FAULTS_BASE)
+    cur["methods"]["datatype_io"]["heavy"]["mbps"] = 0.05  # -50%
+    deltas = compare_faults_docs(FAULTS_BASE, cur)
+    bad = [d for d in deltas if d.regression]
+    assert [(d.source, d.metric) for d in bad] == [
+        ("faults/datatype_io/heavy", "mbps")
+    ]
+
+
+def test_faults_elapsed_increase_is_regression():
+    cur = copy.deepcopy(FAULTS_BASE)
+    cur["methods"]["datatype_io"]["heavy"]["elapsed_s"] = 5.0  # +25%
+    deltas = compare_faults_docs(FAULTS_BASE, cur)
+    assert any(
+        d.regression and d.metric == "elapsed_s" for d in deltas
+    )
+
+
+def test_faults_support_loss_and_coverage():
+    # a severity cell losing support regresses…
+    cur = copy.deepcopy(FAULTS_BASE)
+    cur["methods"]["datatype_io"]["heavy"]["supported"] = False
+    deltas = compare_faults_docs(FAULTS_BASE, cur)
+    assert any(d.regression and d.metric == "supported" for d in deltas)
+    # …a whole method disappearing is a coverage regression…
+    deltas = compare_faults_docs(FAULTS_BASE, {"methods": {}})
+    assert any(d.regression and d.metric == "coverage" for d in deltas)
+    # …and a baseline-unsupported cell gaining support compares nothing
+    cur = copy.deepcopy(FAULTS_BASE)
+    cur["methods"]["datatype_io"]["unusual"] = {
+        "supported": True,
+        "mbps": 1.0,
+        "elapsed_s": 1.0,
+    }
+    deltas = compare_faults_docs(FAULTS_BASE, cur)
+    assert not any(d.regression for d in deltas)
+
+
 def test_compare_against_dir_requires_a_baseline(tmp_path):
     with pytest.raises(FileNotFoundError):
         compare_against_dir(tmp_path)
@@ -148,10 +206,12 @@ def test_compare_against_dir_requires_a_baseline(tmp_path):
 def test_compare_against_dir_with_injected_docs(tmp_path):
     (tmp_path / "BENCH_pipeline.json").write_text(json.dumps(PIPE_BASE))
     (tmp_path / "BENCH_dtype_cache.json").write_text(json.dumps(CACHE_BASE))
+    (tmp_path / "BENCH_faults.json").write_text(json.dumps(FAULTS_BASE))
     deltas, notes = compare_against_dir(
         tmp_path,
         pipeline_doc=copy.deepcopy(PIPE_BASE),
         dtype_cache_doc=copy.deepcopy(CACHE_BASE),
+        faults_doc=copy.deepcopy(FAULTS_BASE),
     )
     assert notes == []
     assert not any(d.regression for d in deltas)
@@ -162,6 +222,7 @@ def test_compare_against_dir_with_injected_docs(tmp_path):
         tmp_path,
         pipeline_doc=regressed,
         dtype_cache_doc=copy.deepcopy(CACHE_BASE),
+        faults_doc=copy.deepcopy(FAULTS_BASE),
     )
     assert any(d.regression for d in deltas)
 
@@ -171,7 +232,59 @@ def test_compare_against_dir_skips_missing_files(tmp_path):
     deltas, notes = compare_against_dir(
         tmp_path, pipeline_doc=copy.deepcopy(PIPE_BASE)
     )
-    assert len(notes) == 1 and "BENCH_dtype_cache.json" in notes[0]
+    assert len(notes) == 2
+    assert any("BENCH_dtype_cache.json" in n for n in notes)
+    assert any("BENCH_faults.json" in n for n in notes)
+
+
+def test_update_baselines_writes_all_documents(tmp_path):
+    written = update_baselines(
+        tmp_path / "results",
+        pipeline_doc=copy.deepcopy(PIPE_BASE),
+        dtype_cache_doc=copy.deepcopy(CACHE_BASE),
+        faults_doc=copy.deepcopy(FAULTS_BASE),
+    )
+    assert [p.name for p in written] == [
+        "BENCH_pipeline.json",
+        "BENCH_dtype_cache.json",
+        "BENCH_faults.json",
+    ]
+    # the refreshed baselines must round-trip and gate clean against
+    # the very documents they were refreshed from
+    assert json.loads(written[2].read_text()) == FAULTS_BASE
+    deltas, notes = compare_against_dir(
+        tmp_path / "results",
+        pipeline_doc=copy.deepcopy(PIPE_BASE),
+        dtype_cache_doc=copy.deepcopy(CACHE_BASE),
+        faults_doc=copy.deepcopy(FAULTS_BASE),
+    )
+    assert notes == [] and not any(d.regression for d in deltas)
+
+
+def test_cli_update_baseline_flag(tmp_path, capsys):
+    from repro.bench import cli
+    from repro.bench import compare as compare_mod
+
+    orig = compare_mod.update_baselines
+
+    def fake_update(baseline_dir):
+        return orig(
+            baseline_dir,
+            pipeline_doc=copy.deepcopy(PIPE_BASE),
+            dtype_cache_doc=copy.deepcopy(CACHE_BASE),
+            faults_doc=copy.deepcopy(FAULTS_BASE),
+        )
+
+    compare_mod.update_baselines = fake_update
+    try:
+        rc = cli.main(
+            ["compare", "--baseline", str(tmp_path), "--update-baseline"]
+        )
+    finally:
+        compare_mod.update_baselines = orig
+    assert rc == 0
+    assert (tmp_path / "BENCH_faults.json").exists()
+    assert "BENCH_faults.json" in capsys.readouterr().err
 
 
 def test_render_compare_verdicts():

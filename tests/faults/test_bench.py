@@ -1,0 +1,56 @@
+"""``repro-bench faults``: the severity sweep and the CI chaos gate."""
+
+import json
+
+from repro.bench.cli import COMMANDS
+from repro.bench.faultscmd import (
+    collect_faults_bench,
+    smoke,
+    write_faults_bench,
+)
+from repro.faults import SEVERITY_LEVELS
+
+
+def test_sweep_document_structure(tmp_path):
+    path, doc = write_faults_bench(tmp_path, methods=["datatype_io"])
+    assert path.name == "BENCH_faults.json"
+    assert json.loads(path.read_text()) == doc
+    assert doc["schema"] == 1
+    assert set(doc["severities"]) == set(SEVERITY_LEVELS)
+    assert doc["severities"]["none"] is None
+    assert doc["severities"]["heavy"]["net_drop_prob"] > 0
+    per = doc["methods"]["datatype_io"]
+    assert set(per) == set(SEVERITY_LEVELS)
+    for level in SEVERITY_LEVELS:
+        entry = per[level]
+        assert entry["supported"]
+        assert entry["mbps"] > 0
+        assert entry["elapsed_s"] > 0
+    assert not per["none"]["degraded"]
+    assert "faults" not in per["none"]
+    assert per["heavy"]["degraded"]
+    assert per["heavy"]["faults"]["events"] > 0
+    assert per["heavy"]["faults"]["exhausted"] == 0
+
+
+def test_degradation_costs_bandwidth():
+    doc = collect_faults_bench(methods=["datatype_io"])
+    per = doc["methods"]["datatype_io"]
+    # the fault-free reference must be the fastest cell of the sweep
+    assert per["none"]["mbps"] >= max(
+        per[lvl]["mbps"] for lvl in ("light", "moderate", "heavy")
+    )
+
+
+def test_sweep_is_deterministic():
+    a = collect_faults_bench(methods=["datatype_io"])
+    b = collect_faults_bench(methods=["datatype_io"])
+    assert a == b
+
+
+def test_cli_has_faults_command():
+    assert "faults" in COMMANDS
+
+
+def test_chaos_smoke_gate_passes():
+    assert smoke() == []

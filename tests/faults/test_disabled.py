@@ -1,0 +1,72 @@
+"""Fault injection must cost nothing when disarmed or inert.
+
+Two bit-identity bars, mirroring tracing and metrics:
+
+* ``faults=None`` (the default) leaves the ``NULL_FAULTS`` singleton in
+  place — a run is float-equality identical to one that never heard of
+  fault injection;
+* an *armed but inert* config (all probabilities zero, no crash
+  windows) runs every decision site yet draws nothing and injects
+  nothing — still float-equality identical.
+"""
+
+import pytest
+
+from repro.bench.runner import run_workload
+from repro.bench.workloads import TileWorkload
+from repro.faults import NULL_FAULTS, FaultConfig
+from repro.pvfs import PVFS, PVFSConfig
+from repro.simulation import Environment
+
+from ..conftest import assert_bit_identical
+
+METHODS = ["posix", "list_io", "datatype_io", "two_phase"]
+
+
+def run(method, faults, **kw):
+    wl = TileWorkload.reduced(frames=2)
+    return run_workload(
+        wl, method, phantom=True, config=PVFSConfig(faults=faults, **kw)
+    )
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_inert_config_is_bit_identical(method):
+    assert_bit_identical(run(method, FaultConfig()), run(method, None))
+
+
+def test_inert_config_with_threads_is_bit_identical():
+    on = run("datatype_io", FaultConfig(), server_threads=4)
+    off = run("datatype_io", None, server_threads=4)
+    assert_bit_identical(on, off)
+
+
+def test_inert_config_injects_nothing():
+    r = run("datatype_io", FaultConfig())
+    assert r.faults is not None
+    assert not r.degraded
+    assert r.faults.event_log() == []
+    assert r.faults.summary()["events"] == 0
+
+
+def test_default_config_uses_null_faults():
+    fs = PVFS(Environment())
+    assert fs.faults is NULL_FAULTS
+    assert fs.net.faults is NULL_FAULTS
+    assert not fs.faults.enabled
+    assert not fs.faults.degraded
+
+
+def test_disarmed_run_records_nothing():
+    r = run("datatype_io", None)
+    assert r.faults is None
+    assert not r.degraded
+
+
+def test_armed_run_attaches_injector():
+    env = Environment()
+    cfg = FaultConfig(net_drop_prob=0.5)
+    fs = PVFS(env, config=PVFSConfig(faults=cfg))
+    assert fs.faults.enabled
+    assert fs.faults.config is cfg
+    assert fs.net.faults is fs.faults

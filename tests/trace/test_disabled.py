@@ -6,8 +6,6 @@ byte-identical to one that never heard of tracing, and a run with
 counters — the recorder watches the clock, it never advances it.
 """
 
-import dataclasses
-
 import pytest
 
 from repro.bench.runner import run_workload
@@ -15,6 +13,8 @@ from repro.bench.workloads import TileWorkload
 from repro.pvfs import PVFS, PVFSConfig
 from repro.simulation import Environment
 from repro.trace import NULL_TRACER
+
+from ..conftest import assert_bit_identical
 
 METHODS = ["posix", "list_io", "datatype_io", "two_phase"]
 
@@ -28,16 +28,7 @@ def run(method, trace):
 
 @pytest.mark.parametrize("method", METHODS)
 def test_traced_run_is_bit_identical(method):
-    on = run(method, True)
-    off = run(method, False)
-    assert on.elapsed == off.elapsed  # exact float equality, not approx
-    assert on.io_ops == off.io_ops
-    assert on.accessed_bytes == off.accessed_bytes
-    assert on.resent_bytes == off.resent_bytes
-    assert on.request_desc_bytes == off.request_desc_bytes
-    assert on.server_stats == off.server_stats
-    assert on.pipeline.total.as_dict() == off.pipeline.total.as_dict()
-    assert dataclasses.asdict(on.network) == dataclasses.asdict(off.network)
+    assert_bit_identical(run(method, True), run(method, False))
 
 
 def test_disabled_run_records_nothing():
