@@ -198,6 +198,44 @@ def cmd_faults(args, out):
     print(f"[saved {path}]", file=sys.stderr)
 
 
+def cmd_scale(args, out):
+    """Multi-tenant scale sweep (BENCH_scale.json) / fairness smoke."""
+    from .scalecmd import (
+        SMOKE_SPEC,
+        collect_scale_bench,
+        render_scale,
+        smoke_check,
+        write_scale_bench,
+    )
+
+    if args.smoke:
+        doc = collect_scale_bench(SMOKE_SPEC)
+        print(render_scale(doc))
+        problems = smoke_check(doc)
+        if problems:
+            for p in problems:
+                print(f"scale problem: {p}", file=sys.stderr)
+            raise SystemExit(f"{len(problems)} scale problem(s)")
+        print(
+            "[scale smoke OK: completion monotone, fairness >= 0.9, "
+            "weighted shares proportional]",
+            file=sys.stderr,
+        )
+        if out is None:
+            return
+        path, _ = write_scale_bench(out, spec=SMOKE_SPEC)
+        print(f"[saved {path}]", file=sys.stderr)
+        return
+    path, doc = write_scale_bench(out)
+    print(render_scale(doc))
+    problems = smoke_check(doc)
+    if problems:
+        for p in problems:
+            print(f"scale problem: {p}", file=sys.stderr)
+        raise SystemExit(f"{len(problems)} scale problem(s)")
+    print(f"[saved {path}]", file=sys.stderr)
+
+
 def cmd_compare(args, out):
     """Regression gate: fresh run vs checked-in BENCH_*.json baselines."""
     from .compare import (
@@ -266,6 +304,7 @@ COMMANDS = {
     "trace": cmd_trace,
     "metrics": cmd_metrics,
     "faults": cmd_faults,
+    "scale": cmd_scale,
     "compare": cmd_compare,
     "validate": cmd_validate,
     "table1": cmd_table1,
@@ -333,7 +372,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="trace/metrics/faults: verify only (metrics also replays "
+        help="trace/metrics/faults/scale: verify only (metrics also replays "
         "with collection off and requires bit-identical timing; faults "
         "runs the chaos gate: heavy preset must recover, replay "
         "deterministically and keep traces/metrics reconciled); skip "

@@ -4,7 +4,9 @@ Re-collects the machine-independent benchmark documents
 (``BENCH_pipeline.json`` via :func:`repro.bench.baseline
 .collect_pipeline_baseline`, ``BENCH_dtype_cache.json`` via
 :func:`repro.bench.dtype_cache.collect`, ``BENCH_faults.json`` via
-:func:`repro.bench.faultscmd.collect_faults_bench`) and diffs them
+:func:`repro.bench.faultscmd.collect_faults_bench`,
+``BENCH_scale.json`` via :func:`repro.bench.scalecmd
+.collect_scale_bench`) and diffs them
 against the checked-in copies under ``results/``.  Every compared quantity is a
 *simulated* figure (bandwidth, simulated elapsed seconds, server stage
 busy time, cache hit rate), so the gate is deterministic: any change
@@ -33,6 +35,7 @@ __all__ = [
     "compare_dtype_cache_docs",
     "compare_faults_docs",
     "compare_pipeline_docs",
+    "compare_scale_docs",
     "compare_against_dir",
     "render_compare",
     "update_baselines",
@@ -228,6 +231,57 @@ def compare_faults_docs(
     return deltas
 
 
+def compare_scale_docs(
+    base: dict, cur: dict, tolerance: float = DEFAULT_TOLERANCE
+) -> list[Delta]:
+    """Diff two ``BENCH_scale.json`` documents (baseline, current).
+
+    Per sweep cell: aggregate bandwidth and elapsed gate like the
+    pipeline numbers, and Jain's weighted fairness index must not drop
+    beyond tolerance — a scheduler change that silently un-fairs the
+    admission rotation is a regression even if it goes faster.
+    """
+    deltas: list[Delta] = []
+
+    def cells(doc):
+        out = {}
+        for cell in doc.get("cells", []):
+            key = (
+                f"{cell['clients']}x{cell['tenants']}x{cell['iods']}"
+            )
+            out[key] = cell
+        if doc.get("weighted"):
+            out["weighted"] = doc["weighted"]
+        return out
+
+    cur_cells = cells(cur)
+    for key, b in cells(base).items():
+        source = f"scale/{key}"
+        c = cur_cells.get(key)
+        if c is None:
+            deltas.append(
+                Delta(
+                    source, "coverage", None, None, 0.0,
+                    True, "cell missing from current run",
+                )
+            )
+            continue
+        _diff(
+            deltas, source, "mbps", b["mbps"], c["mbps"],
+            tolerance, higher_is_better=True,
+        )
+        _diff(
+            deltas, source, "elapsed_s", b["elapsed_s"], c["elapsed_s"],
+            tolerance, higher_is_better=False,
+        )
+        _diff(
+            deltas, source, "jain_weighted",
+            b["jain_weighted"], c["jain_weighted"],
+            tolerance, higher_is_better=True,
+        )
+    return deltas
+
+
 def compare_against_dir(
     baseline_dir: pathlib.Path,
     tolerance: float = DEFAULT_TOLERANCE,
@@ -235,15 +289,18 @@ def compare_against_dir(
     pipeline_doc: Optional[dict] = None,
     dtype_cache_doc: Optional[dict] = None,
     faults_doc: Optional[dict] = None,
+    scale_doc: Optional[dict] = None,
 ) -> tuple[list[Delta], list[str]]:
     """Re-collect fresh benchmark docs and diff against ``baseline_dir``.
 
-    Returns ``(deltas, notes)``; ``notes`` lists baseline files that
-    were absent (and therefore skipped).  Raises ``FileNotFoundError``
-    if *no* baseline file is found — a gate that silently compares
-    nothing must not pass.  The ``*_doc`` keyword arguments inject a
-    pre-collected "current" document (used by tests to simulate
-    regressions without patching the collectors).
+    Returns ``(deltas, notes)``; ``notes`` carries a one-line summary
+    per baseline file — diffed or skipped — plus a files-checked total,
+    so a passing gate still says what it checked instead of staying
+    silent.  Raises ``FileNotFoundError`` if *no* baseline file is
+    found — a gate that silently compares nothing must not pass.  The
+    ``*_doc`` keyword arguments inject a pre-collected "current"
+    document (used by tests to simulate regressions without patching
+    the collectors).
     """
     baseline_dir = pathlib.Path(baseline_dir)
     deltas: list[Delta] = []
@@ -258,7 +315,9 @@ def compare_against_dir(
             from .baseline import collect_pipeline_baseline
 
             pipeline_doc = collect_pipeline_baseline()
-        deltas.extend(compare_pipeline_docs(base, pipeline_doc, tolerance))
+        new = compare_pipeline_docs(base, pipeline_doc, tolerance)
+        deltas.extend(new)
+        notes.append(f"{pipe_path.name}: {len(new)} field(s) diffed")
     else:
         notes.append(f"skipped: {pipe_path} not found")
 
@@ -272,9 +331,9 @@ def compare_against_dir(
             # repeats=1: only deterministic simulated fields are
             # compared, so best-of-N wall timing is wasted work here
             dtype_cache_doc = collect(CachePhase.full(), repeats=1)
-        deltas.extend(
-            compare_dtype_cache_docs(base, dtype_cache_doc, tolerance)
-        )
+        new = compare_dtype_cache_docs(base, dtype_cache_doc, tolerance)
+        deltas.extend(new)
+        notes.append(f"{cache_path.name}: {len(new)} field(s) diffed")
     else:
         notes.append(f"skipped: {cache_path} not found")
 
@@ -286,14 +345,32 @@ def compare_against_dir(
             from .faultscmd import collect_faults_bench
 
             faults_doc = collect_faults_bench(seed=base.get("seed", 1234))
-        deltas.extend(compare_faults_docs(base, faults_doc, tolerance))
+        new = compare_faults_docs(base, faults_doc, tolerance)
+        deltas.extend(new)
+        notes.append(f"{faults_path.name}: {len(new)} field(s) diffed")
     else:
         notes.append(f"skipped: {faults_path} not found")
+
+    scale_path = baseline_dir / "BENCH_scale.json"
+    if scale_path.exists():
+        found += 1
+        base = json.loads(scale_path.read_text())
+        if scale_doc is None:
+            from .scalecmd import collect_scale_bench
+
+            # replay the exact grid the baseline was recorded with
+            scale_doc = collect_scale_bench(base.get("spec"))
+        new = compare_scale_docs(base, scale_doc, tolerance)
+        deltas.extend(new)
+        notes.append(f"{scale_path.name}: {len(new)} field(s) diffed")
+    else:
+        notes.append(f"skipped: {scale_path} not found")
 
     if not found:
         raise FileNotFoundError(
             f"no BENCH_*.json baselines under {baseline_dir}"
         )
+    notes.append(f"{found} baseline file(s) checked")
     return deltas, notes
 
 
@@ -303,6 +380,7 @@ def update_baselines(
     pipeline_doc: Optional[dict] = None,
     dtype_cache_doc: Optional[dict] = None,
     faults_doc: Optional[dict] = None,
+    scale_doc: Optional[dict] = None,
 ) -> list[pathlib.Path]:
     """Re-collect every benchmark document and overwrite the baselines.
 
@@ -340,6 +418,14 @@ def update_baselines(
         faults_doc = collect_faults_bench()
     path = baseline_dir / "BENCH_faults.json"
     path.write_text(json.dumps(faults_doc, indent=2, sort_keys=True) + "\n")
+    written.append(path)
+
+    if scale_doc is None:
+        from .scalecmd import collect_scale_bench
+
+        scale_doc = collect_scale_bench()
+    path = baseline_dir / "BENCH_scale.json"
+    path.write_text(json.dumps(scale_doc, indent=2, sort_keys=True) + "\n")
     written.append(path)
     return written
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -51,6 +51,9 @@ class RunResult:
     degraded: bool = False
     #: The I/O servers of the finished run (imbalance reporting).
     servers: list = field(default_factory=list)
+    #: rank -> (io_start, io_end) simulated seconds; io_end is taken
+    #: before the closing barrier, so per-rank makespans are honest.
+    rank_times: dict = field(default_factory=dict)
     note: str = ""
 
     @property
@@ -92,6 +95,7 @@ def run_workload(
     costs: Optional[CostModel] = None,
     config: Optional[PVFSConfig] = None,
     hints: Optional[Hints] = None,
+    tenant_of: Optional[Callable[[int], int]] = None,
 ) -> RunResult:
     """Simulate the workload with the given access method.
 
@@ -105,12 +109,16 @@ def run_workload(
     costs = costs or CostModel()
     fs = PVFS(env, config=config or PVFSConfig(), costs=costs)
     mpi = SimMPI(
-        fs, workload.n_clients, procs_per_node=workload.procs_per_node
+        fs,
+        workload.n_clients,
+        procs_per_node=workload.procs_per_node,
+        tenant_of=tenant_of,
     )
     hints = hints or Hints()
     collective = method == "two_phase"
 
     start_times: list[float] = []
+    rank_times: dict[int, tuple[float, float]] = {}
     unsupported: list[bool] = []
 
     def rank_main(ctx):
@@ -120,8 +128,10 @@ def run_workload(
         mcount = workload.mem_count(ctx.rank)
         buf = None if phantom else _make_buffer(workload, ctx.rank, memtype)
         yield from ctx.comm.barrier()
-        start_times.append(env.now)
-        for rep in range(workload.repetitions):
+        t_io_start = env.now
+        start_times.append(t_io_start)
+        reps = workload.repetitions_for(ctx.rank)
+        for rep in range(reps):
             f.set_view(
                 workload.displacement(ctx.rank, rep),
                 etype,
@@ -138,12 +148,13 @@ def run_workload(
                 unsupported.append(True)
                 yield from ctx.comm.barrier()
                 return f.counters
+        rank_times[ctx.rank] = (t_io_start, env.now)
         if verify and workload.is_write:
             # read back with the always-correct datatype path and compare
             rbuf = np.zeros(memtype.size * mcount, dtype=np.uint8)
             back = np.zeros_like(_as_u8(buf))
             f.set_view(
-                workload.displacement(ctx.rank, workload.repetitions - 1),
+                workload.displacement(ctx.rank, reps - 1),
                 etype,
                 workload.filetype(ctx.rank),
             )
@@ -183,17 +194,18 @@ def run_workload(
     result.request_desc_bytes = (
         sum(c.request_desc_bytes for c in counters) / n
     )
+    result.rank_times = dict(rank_times)
     result.server_stats = fs.total_server_stats()
     result.network = summarize_network(fs.net, result.elapsed)
     result.pipeline = fs.pipeline_summary()
     if fs.tracer.enabled:
         result.tracer = fs.tracer
         result.trace_summary = summarize_trace(fs.tracer)
+    result.servers = fs.servers
     if fs.metrics.enabled:
         # capture the tail sample so series integrals cover the full run
         fs.metrics.finalize()
         result.metrics = fs.metrics
-        result.servers = fs.servers
     if fs.faults.enabled:
         result.faults = fs.faults
         result.degraded = fs.faults.degraded

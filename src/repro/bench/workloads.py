@@ -30,6 +30,7 @@ __all__ = [
     "TileWorkload",
     "Block3DWorkload",
     "FlashWorkload",
+    "ScaleWorkload",
 ]
 
 
@@ -64,6 +65,15 @@ class Workload:
 
     def mem_count(self, rank: int) -> int:
         return 1
+
+    def repetitions_for(self, rank: int) -> int:
+        """Per-rank repetition count.
+
+        Uniform by default; :class:`ScaleWorkload` overrides it so a
+        tenant's offered demand scales with its admission weight (then
+        all tenants finish together iff the scheduler honours weights).
+        """
+        return self.repetitions
 
     # -- sizes ---------------------------------------------------------
     def bytes_per_client_per_rep(self) -> int:
@@ -348,3 +358,99 @@ class FlashWorkload(Workload):
     @classmethod
     def reduced(cls, n_clients: int = 2) -> "FlashWorkload":
         return cls(n_clients=n_clients, nblocks=4, nxb=4, nguard=2, nvar=3)
+
+
+# ----------------------------------------------------------------------
+# multi-tenant scale sweep (repro-bench scale)
+# ----------------------------------------------------------------------
+@dataclass
+class ScaleWorkload(Workload):
+    """Strip-aligned writes for the multi-tenant scale sweep.
+
+    Each rank writes ``blocks`` strips of exactly ``block_bytes`` each,
+    where ``block_bytes`` equals the cluster strip size.  Block *i* of
+    rank *r* lands on strip index ``r + i * n_clients``, so with
+    ``n_clients`` a multiple of the server count every request of rank
+    *r* is served by server ``r % nservers`` — no cross-server fan-out,
+    which makes per-server admission contention (the thing the sweep
+    measures) the only queueing in the run.
+
+    Ranks are partitioned into ``n_tenants`` *contiguous* blocks
+    (``tenant_of(r) = r * n_tenants // n_clients``), so every server
+    sees clients of every tenant.  When ``tenant_reps`` is set, a
+    tenant's ranks run that many repetitions — offered demand scales
+    with admission weight, so under weighted-fair service all tenants
+    finish together and per-tenant throughput is proportional to
+    weight.
+    """
+
+    n_clients: int = 4
+    block_bytes: int = 65536  #: must equal PVFSConfig.strip_size
+    blocks: int = 4
+    n_tenants: int = 1
+    #: per-tenant repetition counts (len == n_tenants); ``None`` means
+    #: ``repetitions`` for every rank
+    tenant_reps: Optional[tuple[int, ...]] = None
+    repetitions: int = 1
+    #: one rank per node: response transfers must queue at the *server*
+    #: (where weighted-fair admission arbitrates), not at shared client
+    #: NICs, or tenant queues drain and fairness cannot be observed
+    procs_per_node: int = 1
+    is_write: bool = True
+    name: str = "scale"
+    path: str = "/scale"
+
+    def __post_init__(self):
+        if self.n_clients < 1:
+            raise ValueError("need at least one client")
+        if self.n_tenants < 1 or self.n_tenants > self.n_clients:
+            raise ValueError("need 1 <= n_tenants <= n_clients")
+        if self.tenant_reps is not None and len(self.tenant_reps) != self.n_tenants:
+            raise ValueError("tenant_reps must have one entry per tenant")
+        self._memtype: Optional[Datatype] = None
+        self._filetype: Optional[Datatype] = None
+
+    # -- tenancy --------------------------------------------------------
+    def tenant_of(self, rank: int) -> int:
+        """Contiguous rank blocks per tenant (servers see all tenants)."""
+        return rank * self.n_tenants // self.n_clients
+
+    def tenant_ranks(self, tenant: int) -> list[int]:
+        return [
+            r for r in range(self.n_clients) if self.tenant_of(r) == tenant
+        ]
+
+    def repetitions_for(self, rank: int) -> int:
+        if self.tenant_reps is None:
+            return self.repetitions
+        return self.tenant_reps[self.tenant_of(rank)]
+
+    # -- datatypes ------------------------------------------------------
+    def filetype(self, rank: int) -> Datatype:
+        if self._filetype is None:
+            self._filetype = vector(
+                self.blocks,
+                self.block_bytes,
+                self.n_clients * self.block_bytes,
+                BYTE,
+            )
+        return self._filetype
+
+    def memtype(self, rank: int) -> Datatype:
+        if self._memtype is None:
+            self._memtype = contiguous(self.blocks * self.block_bytes, BYTE)
+        return self._memtype
+
+    def displacement(self, rank: int, rep: int) -> int:
+        frame = self.blocks * self.n_clients * self.block_bytes
+        return rank * self.block_bytes + rep * frame
+
+    # -- sizes (mean across ranks; tenants may differ) ------------------
+    def total_bytes(self) -> int:
+        per_rep = self.bytes_per_client_per_rep()
+        return per_rep * sum(
+            self.repetitions_for(r) for r in range(self.n_clients)
+        )
+
+    def bytes_per_client(self) -> int:
+        return self.total_bytes() // self.n_clients

@@ -12,6 +12,7 @@ from .export import (
     openmetrics,
     validate_openmetrics,
 )
+from .fairness import jain_index
 from .hub import (
     NULL_METRICS,
     STAGES,
@@ -31,6 +32,7 @@ from .registry import (
 )
 
 __all__ = [
+    "jain_index",
     "MetricsHub",
     "NullMetrics",
     "NULL_METRICS",

@@ -1,0 +1,43 @@
+"""Fairness arithmetic for multi-tenant runs.
+
+Jain's fairness index (Jain, Chiu & Hawe 1984) condenses a vector of
+per-tenant throughputs into a single number in ``(0, 1]``: 1 means a
+perfectly even split; ``k/n`` means *k* of *n* tenants share everything
+while the rest starve.  ``repro-bench scale`` reports it per sweep
+cell, and the CI smoke gate requires >= 0.9 for equal-weight tenants.
+
+For *weighted* tenants, normalize first — feed ``throughput / weight``
+so the ideal weighted split also scores 1.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["jain_index"]
+
+
+def jain_index(values: Iterable[float]) -> float:
+    """Jain's fairness index of a throughput vector.
+
+    ``(sum x)^2 / (n * sum x^2)``, with the empty and all-zero vectors
+    defined as perfectly fair (nobody is being short-changed).
+
+    >>> jain_index([10.0, 10.0, 10.0, 10.0])
+    1.0
+    >>> round(jain_index([8.0, 4.0, 2.0, 1.0]), 3)
+    0.662
+    >>> jain_index([5.0, 0.0, 0.0, 0.0])  # one tenant hogs all: 1/n
+    0.25
+    >>> jain_index([])
+    1.0
+    """
+    xs = [float(v) for v in values]
+    n = len(xs)
+    if n == 0:
+        return 1.0
+    s = sum(xs)
+    sq = sum(x * x for x in xs)
+    if sq == 0.0:
+        return 1.0
+    return (s * s) / (n * sq)

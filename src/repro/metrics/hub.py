@@ -101,6 +101,12 @@ class MetricsHub:
         self._c_fault_stall = None
         self._c_timeouts = None
         self._c_failovers = None
+        # multi-tenant instruments, created lazily per tenant so a
+        # single-tenant run exports no repro_tenant_* families at all
+        self._tenant_names: Optional[list[str]] = None
+        self._h_tenant_request: dict[int, object] = {}
+        self._h_tenant_wait: dict[int, object] = {}
+        self._c_tenant_bytes: dict[int, object] = {}
 
     # ------------------------------------------------------------------
     # wiring
@@ -108,6 +114,9 @@ class MetricsHub:
     def bind(self, fs: "PVFS") -> None:
         """Attach the file system whose state the sampler snapshots."""
         self._fs = fs
+        tenants = fs.config.tenants
+        if tenants is not None:
+            self._tenant_names = [t.name for t in tenants]
 
     # ------------------------------------------------------------------
     # instrumentation sites (all pure observation)
@@ -145,6 +154,72 @@ class MetricsHub:
             )
             self._h_op[key] = h
         h.observe(seconds)
+
+    def _tenant_label(self, tenant: int) -> Optional[str]:
+        names = self._tenant_names
+        if names is None:
+            return None
+        if 0 <= tenant < len(names):
+            return names[tenant]
+        return names[0]
+
+    def tenant_request(self, tenant: int, seconds: float) -> None:
+        """Per-tenant end-to-end request latency (no-op untenanted)."""
+        label = self._tenant_label(tenant)
+        if label is None:
+            return
+        h = self._h_tenant_request.get(tenant)
+        if h is None:
+            h = self.registry.histogram(
+                "repro_tenant_request_seconds",
+                "End-to-end server request latency, by tenant",
+                tenant=label,
+            )
+            self._h_tenant_request[tenant] = h
+        h.observe(seconds)
+
+    def tenant_queue_wait(self, tenant: int, seconds: float) -> None:
+        """Per-tenant admission queue wait (no-op untenanted)."""
+        label = self._tenant_label(tenant)
+        if label is None:
+            return
+        h = self._h_tenant_wait.get(tenant)
+        if h is None:
+            h = self.registry.histogram(
+                "repro_tenant_queue_wait_seconds",
+                "Time a request waited for weighted-fair admission, "
+                "by tenant",
+                tenant=label,
+            )
+            self._h_tenant_wait[tenant] = h
+        h.observe(seconds)
+
+    def tenant_bytes(self, tenant: int, nbytes: int) -> None:
+        """Per-tenant data bytes served (no-op untenanted)."""
+        label = self._tenant_label(tenant)
+        if label is None:
+            return
+        c = self._c_tenant_bytes.get(tenant)
+        if c is None:
+            c = self.registry.counter(
+                "repro_tenant_bytes",
+                "Data bytes served (read + written), by tenant",
+                tenant=label,
+            )
+            self._c_tenant_bytes[tenant] = c
+        c.inc(nbytes)
+
+    def tenant_throughputs(self) -> dict[str, float]:
+        """Served bytes per tenant / elapsed time — the vector to feed
+        :func:`~repro.metrics.fairness.jain_index`."""
+        now = self.env.now
+        if self._tenant_names is None or now <= 0:
+            return {}
+        out = {}
+        for i, name in enumerate(self._tenant_names):
+            c = self._c_tenant_bytes.get(i)
+            out[name] = (c.value / now) if c is not None else 0.0
+        return out
 
     def message(self) -> None:
         self._c_messages.inc()
@@ -313,6 +388,18 @@ class NullMetrics:
 
     def observe_op(self, seconds, method, is_write) -> None:
         pass
+
+    def tenant_request(self, tenant, seconds) -> None:
+        pass
+
+    def tenant_queue_wait(self, tenant, seconds) -> None:
+        pass
+
+    def tenant_bytes(self, tenant, nbytes) -> None:
+        pass
+
+    def tenant_throughputs(self) -> dict:
+        return {}
 
     def message(self) -> None:
         pass

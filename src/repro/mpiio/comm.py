@@ -199,6 +199,7 @@ class SimMPI:
         nprocs: int,
         procs_per_node: int = 2,
         node_prefix: str = "cn",
+        tenant_of: Optional[Callable[[int], int]] = None,
     ):
         if nprocs < 1:
             raise ValueError("need at least one rank")
@@ -218,7 +219,10 @@ class SimMPI:
             mailbox = self.net.mailbox(node, f"mpi:{node_prefix}:r{r}")
             comm = Comm(self, r, mailbox)
             self.comms.append(comm)
-            client = fs.client(node.name, name=f"{node_prefix}:r{r}")
+            tenant = tenant_of(r) if tenant_of is not None else 0
+            client = fs.client(
+                node.name, name=f"{node_prefix}:r{r}", tenant=tenant
+            )
             self.contexts.append(
                 RankContext(r, nprocs, comm, client, self.env)
             )

@@ -29,7 +29,7 @@ Use :class:`PVFS` to assemble a cluster::
     client = fs.client("c0")
 """
 
-from .config import PVFSConfig
+from .config import PVFSConfig, TenantConfig
 from .system import PVFS
 from .client import PVFSClient, FileHandle
 from .distribution import Distribution
@@ -52,6 +52,7 @@ from .pipeline import (
 __all__ = [
     "PVFS",
     "PVFSConfig",
+    "TenantConfig",
     "PVFSClient",
     "FileHandle",
     "Distribution",

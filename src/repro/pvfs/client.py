@@ -122,10 +122,15 @@ class _OpGroup:
 class PVFSClient:
     """A file-system client living on one cluster node."""
 
-    def __init__(self, system: "PVFS", node, name: str):
+    def __init__(self, system: "PVFS", node, name: str, tenant: int = 0):
         self.system = system
         self.node = node
         self.name = name
+        #: Tenant index (``PVFSConfig.tenants``); stamped on every
+        #: outgoing :class:`IORequest` so server-side admission can
+        #: queue it fairly.  0 — the only valid value when no tenants
+        #: are configured — is the default tenant.
+        self.tenant = tenant
         self.mailbox = system.net.mailbox(node, f"pvfs:{name}")
         self.counters = ClientCounters()
         self._next_req = 0
@@ -235,7 +240,7 @@ class PVFSClient:
             if m.live:
                 self.mailbox._store.put(m)
 
-        env.call_later(timeout, _fire)
+        timer = env.call_later(timeout, _fire)
         held: list[_TimeoutMarker] = []
         try:
             while True:
@@ -257,6 +262,7 @@ class PVFSClient:
                     self._resp_stash[rid] = resp
         finally:
             marker.live = False
+            timer.cancel()  # the guard is moot; leave no dead queue entry
             for m in held:
                 if m.live:
                     self.mailbox._store.put(m)
@@ -438,6 +444,7 @@ class PVFSClient:
                 req_id=self._req_id(),
                 reply_to=self.mailbox,
                 client=self.name,
+                tenant=self.tenant,
                 server=int(srv[a]),
             )
             responses = yield from self._io_round(
@@ -632,6 +639,7 @@ class PVFSClient:
                     req_id=self._req_id(),
                     reply_to=self.mailbox,
                     client=self.name,
+                    tenant=self.tenant,
                     server=server,
                 )
                 requests.append((req, sposa, merged))
@@ -762,6 +770,7 @@ class PVFSClient:
                 req_id=self._req_id(),
                 reply_to=self.mailbox,
                 client=self.name,
+                tenant=self.tenant,
                 server=server,
             )
             requests.append((req, job))

@@ -7,7 +7,50 @@ from typing import Optional
 
 from ..faults import FaultConfig
 
-__all__ = ["PVFSConfig"]
+__all__ = ["PVFSConfig", "TenantConfig"]
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """One tenant of a multi-tenant deployment.
+
+    Requests are tagged with their tenant's index in
+    ``PVFSConfig.tenants`` and classified into per-tenant admission
+    queues at each I/O daemon, served by deficit round-robin: tenant
+    *i*'s long-run share of admitted bytes during contention is
+    ``weight_i / sum(weights)``.
+    """
+
+    #: Label used in metrics (`repro_tenant_*`), traces, and reports.
+    name: str
+    #: Relative weighted-fair share (deficit round-robin quantum scale).
+    weight: float = 1.0
+    #: Optional token-bucket rate limit, bytes of admitted I/O per
+    #: simulated second.  ``None`` — no limit (weighted share only).
+    rate_limit: Optional[float] = None
+    #: Token-bucket depth in bytes; bounds how far a quiet tenant can
+    #: burst above ``rate_limit``.  Defaults to 64 KiB or one second of
+    #: tokens, whichever is larger.
+    burst_bytes: Optional[int] = None
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if not (self.weight > 0):
+            raise ValueError("tenant weight must be positive")
+        if self.rate_limit is not None and not (self.rate_limit > 0):
+            raise ValueError("tenant rate_limit must be positive")
+        if self.burst_bytes is not None and self.burst_bytes < 1:
+            raise ValueError("tenant burst_bytes must be positive")
+
+    @property
+    def burst(self) -> float:
+        """Effective token-bucket depth in bytes."""
+        if self.burst_bytes is not None:
+            return float(self.burst_bytes)
+        if self.rate_limit is None:
+            return float("inf")
+        return max(65536.0, self.rate_limit)
 
 
 @dataclass(frozen=True)
@@ -110,6 +153,14 @@ class PVFSConfig:
     #: ``None`` (default) disarms the machinery entirely and is
     #: float-equality identical to a build without it.
     faults: Optional[FaultConfig] = None
+    #: Multi-tenant weighted-fair admission (``None`` — off): a tuple
+    #: of :class:`TenantConfig`.  When set, each I/O daemon classifies
+    #: incoming requests by their tenant id into per-tenant queues and
+    #: admits them by deficit round-robin (weights), optionally paced
+    #: by per-tenant token buckets (``rate_limit``), with starvation
+    #: accounting.  ``None`` preserves the paper's FIFO mailbox
+    #: admission bit for bit.
+    tenants: Optional[tuple[TenantConfig, ...]] = None
     #: Whether byte-range locking is available (PVFS: no).
     supports_locking: bool = False
     #: Collapse runs of consecutive synchronous requests from one
@@ -140,6 +191,20 @@ class PVFSConfig:
             raise ValueError("server_retry_backoff must be non-negative")
         if self.metrics_interval <= 0:
             raise ValueError("metrics_interval must be positive")
+        if self.tenants is not None:
+            if not isinstance(self.tenants, tuple) or not self.tenants:
+                raise ValueError(
+                    "tenants must be None or a non-empty tuple of "
+                    "TenantConfig"
+                )
+            for t in self.tenants:
+                if not isinstance(t, TenantConfig):
+                    raise ValueError(
+                        "tenants entries must be TenantConfig instances"
+                    )
+            names = [t.name for t in self.tenants]
+            if len(set(names)) != len(names):
+                raise ValueError("tenant names must be unique")
         if self.faults is not None and not isinstance(
             self.faults, FaultConfig
         ):

@@ -39,6 +39,7 @@ Both schedulers record per-stage times into the server's
 
 from __future__ import annotations
 
+from collections import deque
 from typing import TYPE_CHECKING
 
 from ..simulation.resources import Resource
@@ -62,6 +63,7 @@ __all__ = [
     "resolve_handler",
     "SerialScheduler",
     "ThreadedScheduler",
+    "TenantAdmission",
     "make_scheduler",
 ]
 
@@ -306,6 +308,7 @@ def _respond(server: "IOServer", req: IORequest, resp: IOResponse, parent=None):
     server.stage_times.respond += dt
     if metrics.enabled:
         metrics.observe_stage("respond", dt)
+        metrics.tenant_bytes(req.tenant, resp.nbytes)
     if traced:
         tracer.add(
             "server.respond",
@@ -389,15 +392,19 @@ class SerialScheduler:
         env = server.system.env
         metrics = server.system.metrics
         st = server.stage_times
-        queued = len(server.mailbox) + 1  # waiting + the one in hand
+        queued = server.backlog() + 1  # waiting + the one in hand
         if queued > st.peak_queue:
             st.peak_queue = queued
         t_start = env.now
         if metrics.enabled:
             metrics.observe_queue_wait(queue_wait)
+            metrics.tenant_queue_wait(req.tenant, queue_wait)
         tracer = server.system.tracer
         span = None
         if tracer.enabled and req.trace_id >= 0:
+            attrs = {}
+            if server.system.config.tenants is not None:
+                attrs["tenant"] = req.tenant
             span = tracer.begin(
                 "server.request",
                 "server",
@@ -408,6 +415,7 @@ class SerialScheduler:
                 is_write=req.is_write,
                 op_count=req.op_count,
                 queue_wait=queue_wait,
+                **attrs,
             )
         try:
             yield from self._serve(req, span)
@@ -420,7 +428,9 @@ class SerialScheduler:
                 tracer.end(span)
             if metrics.enabled:
                 # end-to-end: mailbox wait + everything through respond
-                metrics.observe_request(queue_wait + env.now - t_start)
+                total = queue_wait + env.now - t_start
+                metrics.observe_request(total)
+                metrics.tenant_request(req.tenant, total)
 
     def _serve(self, req: IORequest, span=None):
         server = self.server
@@ -559,8 +569,12 @@ class ThreadedScheduler:
         metrics = server.system.metrics
         if metrics.enabled:
             metrics.observe_queue_wait(queue_wait)
+            metrics.tenant_queue_wait(req.tenant, queue_wait)
         span = None
         if tracer.enabled and req.trace_id >= 0:
+            attrs = {}
+            if server.system.config.tenants is not None:
+                attrs["tenant"] = req.tenant
             span = tracer.begin(
                 "server.request",
                 "server",
@@ -571,6 +585,7 @@ class ThreadedScheduler:
                 is_write=req.is_write,
                 op_count=req.op_count,
                 queue_wait=queue_wait,
+                **attrs,
             )
         server.system.env.process(
             self._worker(req, span, queue_wait),
@@ -603,7 +618,9 @@ class ThreadedScheduler:
                 tracer.end(span)
             if metrics.enabled:
                 # end-to-end: mailbox wait + everything through respond
-                metrics.observe_request(queue_wait + env.now - t_start)
+                total = queue_wait + env.now - t_start
+                metrics.observe_request(total)
+                metrics.tenant_request(req.tenant, total)
 
     def _serve(self, req: IORequest, span=None):
         server = self.server
@@ -711,6 +728,177 @@ class ThreadedScheduler:
 
         resp = move_data(server, req, plan)
         yield from _respond(server, req, resp, span)
+
+
+# ----------------------------------------------------------------------
+# multi-tenant admission
+# ----------------------------------------------------------------------
+class TenantAdmission:
+    """Weighted-fair admission over per-tenant request queues.
+
+    Classic deficit round-robin (DRR): each tenant owns a FIFO queue
+    and a deficit counter.  When the rotation visits a backlogged
+    tenant its deficit grows by a quantum proportional to its
+    ``TenantConfig.weight``; the head request is admitted while the
+    deficit covers its byte cost.  During sustained contention tenant
+    *i* therefore receives ``weight_i / sum(weights)`` of the admitted
+    bytes regardless of request sizes or arrival order.
+
+    Optional per-tenant token buckets (``rate_limit`` bytes/s, depth
+    ``burst``) pace admission below the fair share; when every
+    backlogged tenant is token-blocked, :meth:`next` returns a
+    deterministic ``("sleep", dt)`` verdict — the earliest instant a
+    bucket refills — so the daemon parks without busy-waiting.
+    Requests costing more than a bucket's depth drain the full bucket
+    (the standard cap; otherwise they could never be admitted).
+
+    Starvation accounting: per-tenant admitted counts/bytes and mean/
+    max admission waits, exposed via :meth:`report` and the
+    ``repro_tenant_*`` metrics.
+
+    The class is pure bookkeeping — it never touches the simulation
+    clock itself, so its decisions are exactly reproducible.
+    """
+
+    def __init__(self, env, tenants, quantum_bytes: int = 65536):
+        self.env = env
+        self.tenants = list(tenants)
+        n = len(self.tenants)
+        max_w = max(t.weight for t in self.tenants)
+        #: DRR quantum per tenant, scaled so the heaviest tenant gains
+        #: ``quantum_bytes`` per rotation.
+        self.quantum = [
+            quantum_bytes * t.weight / max_w for t in self.tenants
+        ]
+        self.queues: list[deque] = [deque() for _ in range(n)]
+        self.deficit = [0.0] * n
+        self.queued = 0  #: total requests waiting across all queues
+        self._rr = 0  #: next tenant in the rotation
+        self._serving: int | None = None  #: tenant mid-quantum, if any
+        # token buckets (full at t=0)
+        self.tokens = [t.burst for t in self.tenants]
+        self._t_refill = env.now
+        # starvation accounting
+        self.admitted = [0] * n
+        self.admitted_bytes = [0] * n
+        self.total_wait = [0.0] * n
+        self.max_wait = [0.0] * n
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _cost(req: IORequest) -> int:
+        """Admission cost in bytes (descriptor-level knowledge only)."""
+        if req.is_write:
+            nb = req.payload_nbytes
+        elif req.regions is not None:
+            nb = req.regions.total_bytes
+        elif req.window is not None:
+            nb = req.window.stream_bytes
+        else:
+            nb = 0
+        return max(int(nb), 1)
+
+    def enqueue(self, msg) -> None:
+        """File an arriving request message under its tenant."""
+        i = msg.payload.tenant
+        if not (0 <= i < len(self.queues)):
+            i = 0  # unknown tenant ids fall into the default queue
+        self.queues[i].append(msg)
+        self.queued += 1
+
+    def _refill(self) -> None:
+        now = self.env.now
+        dt = now - self._t_refill
+        if dt > 0:
+            for i, t in enumerate(self.tenants):
+                if t.rate_limit is not None:
+                    self.tokens[i] = min(
+                        t.burst, self.tokens[i] + t.rate_limit * dt
+                    )
+            self._t_refill = now
+
+    def next(self):
+        """The next admission decision.
+
+        Returns ``("admit", msg, wait_s)`` for the request to serve,
+        ``("sleep", dt)`` when every backlogged tenant is token-blocked
+        (retry in ``dt`` simulated seconds), or ``None`` when idle.
+        """
+        if not self.queued:
+            return None
+        self._refill()
+        n = len(self.queues)
+        blocked: list[float] = []
+        visits = 0
+        deficit_growing = False
+        while True:
+            if self._serving is None:
+                if visits >= n:
+                    # one full rotation with no admission
+                    if not deficit_growing:
+                        dt = min(blocked) if blocked else 1e-3
+                        return ("sleep", max(dt, 1e-9))
+                    visits = 0
+                    blocked = []
+                    deficit_growing = False
+                i = self._rr
+                self._rr = (i + 1) % n
+                visits += 1
+                if not self.queues[i]:
+                    self.deficit[i] = 0.0  # idle tenants bank nothing
+                    continue
+                self.deficit[i] += self.quantum[i]
+                self._serving = i
+            i = self._serving
+            q = self.queues[i]
+            if not q:
+                self.deficit[i] = 0.0
+                self._serving = None
+                continue
+            msg = q[0]
+            cost = self._cost(msg.payload)
+            if self.deficit[i] < cost:
+                # quantum exhausted: the next rotation grows it
+                deficit_growing = True
+                self._serving = None
+                continue
+            t = self.tenants[i]
+            if t.rate_limit is not None:
+                charge = min(cost, t.burst)
+                if self.tokens[i] < charge:
+                    blocked.append((charge - self.tokens[i]) / t.rate_limit)
+                    self._serving = None
+                    continue
+                self.tokens[i] -= charge
+            q.popleft()
+            self.queued -= 1
+            self.deficit[i] -= cost
+            wait = self.env.now - msg.t_enqueued
+            self.admitted[i] += 1
+            self.admitted_bytes[i] += cost
+            self.total_wait[i] += wait
+            if wait > self.max_wait[i]:
+                self.max_wait[i] = wait
+            return ("admit", msg, wait)
+
+    # ------------------------------------------------------------------
+    def report(self) -> list[dict]:
+        """Per-tenant admission/starvation summary."""
+        out = []
+        for i, t in enumerate(self.tenants):
+            a = self.admitted[i]
+            out.append(
+                {
+                    "tenant": t.name,
+                    "weight": t.weight,
+                    "admitted": a,
+                    "admitted_bytes": self.admitted_bytes[i],
+                    "mean_wait_s": self.total_wait[i] / a if a else 0.0,
+                    "max_wait_s": self.max_wait[i],
+                    "queued": len(self.queues[i]),
+                }
+            )
+        return out
 
 
 def make_scheduler(server: "IOServer"):

@@ -114,6 +114,10 @@ class IORequest:
     req_id: int = -1
     reply_to: Any = None
     client: str = ""
+    #: Tenant index (``PVFSConfig.tenants``); crosses the wire so the
+    #: server's weighted-fair admission can classify the request.  0 is
+    #: the default tenant (the only one when tenancy is off).
+    tenant: int = 0
     server: int = -1  # destination I/O server index
     #: Tracing (``PVFSConfig.trace``): the I/O job's trace id and the
     #: client-side RPC span id this request belongs to.  Plain ints so

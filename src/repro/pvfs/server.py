@@ -22,7 +22,7 @@ from typing import TYPE_CHECKING
 from ..simulation.stats import StageTimes
 from ..storage import BlockStore, DiskModel
 from .expand_cache import ExpansionCache
-from .pipeline import make_scheduler
+from .pipeline import TenantAdmission, make_scheduler
 from .protocol import IORequest
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -51,6 +51,13 @@ class IOServer:
             else None
         )
         self.scheduler = make_scheduler(self)
+        #: Weighted-fair admission (``PVFSConfig.tenants``); ``None``
+        #: keeps the paper's FIFO mailbox admission bit for bit.
+        self.admission = (
+            TenantAdmission(system.env, cfg.tenants)
+            if cfg.tenants is not None
+            else None
+        )
         # counters
         self.requests = 0
         self.ops = 0
@@ -61,13 +68,21 @@ class IOServer:
         self.stage_times = StageTimes()
 
     # ------------------------------------------------------------------
+    def backlog(self) -> int:
+        """Requests waiting to be served: undrained mailbox messages
+        plus anything parked in the per-tenant admission queues."""
+        depth = len(self.mailbox)
+        if self.admission is not None:
+            depth += self.admission.queued
+        return depth
+
     def queue_depth(self) -> int:
         """Requests waiting in the mailbox plus any admitted in flight.
 
         Pure observation (no clock movement) — the metrics sampler
         calls this from the engine clock hook.
         """
-        depth = len(self.mailbox)
+        depth = self.backlog()
         if self.scheduler.concurrent:
             depth += self.scheduler.inflight
         return depth
@@ -88,6 +103,9 @@ class IOServer:
 
     # ------------------------------------------------------------------
     def run(self):
+        if self.admission is not None:
+            yield from self._run_tenanted()
+            return
         env = self.system.env
         net = self.system.net
         costs = self.system.costs
@@ -117,4 +135,58 @@ class IOServer:
             # the scheduler owns error containment: a malformed or
             # failing request becomes an error response, never a dead
             # daemon
+            yield from self.scheduler.submit(req, queue_wait)
+
+    def _run_tenanted(self):
+        """Receive loop with weighted-fair admission between mailbox
+        and scheduler.
+
+        One mailbox wakeup absorbs the whole backlog (a batched drain,
+        no per-message event hop), control messages are handled as they
+        arrive, and I/O requests are filed into per-tenant queues; the
+        :class:`~repro.pvfs.pipeline.TenantAdmission` rotation then
+        decides service order.  A ``sleep`` verdict (all backlogged
+        tenants token-blocked) parks the daemon until the earliest
+        bucket refill — new arrivals during the nap are drained on the
+        next pass.
+        """
+        env = self.system.env
+        net = self.system.net
+        costs = self.system.costs
+        adm = self.admission
+        mailbox = self.mailbox
+        while True:
+            if adm.queued == 0 and len(mailbox) == 0:
+                msg = yield mailbox.get()
+                batch = [msg]
+                batch.extend(mailbox.drain())
+            else:
+                batch = mailbox.drain()
+            for msg in batch:
+                payload = msg.payload
+                if isinstance(payload, tuple) and payload[0] == "localsize":
+                    _, handle, reply_to = payload
+                    yield env.timeout(costs.fs_op_server_cost)
+                    yield from net.send(
+                        self.mailbox,
+                        reply_to,
+                        costs.header_bytes,
+                        payload=self.store.local_size(handle),
+                    )
+                    continue
+                adm.enqueue(msg)
+            verdict = adm.next()
+            if verdict is None:
+                continue
+            if verdict[0] == "sleep":
+                yield env.timeout(verdict[1])
+                continue
+            _, msg, queue_wait = verdict
+            req: IORequest = msg.payload
+            faults = self.system.faults
+            if faults.enabled and faults.server_down(self.index):
+                # crashed daemon: the admitted request is discarded —
+                # the client's RPC timer is the only recovery path
+                faults.crash_drop(self.index, req)
+                continue
             yield from self.scheduler.submit(req, queue_wait)

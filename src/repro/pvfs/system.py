@@ -99,10 +99,21 @@ class PVFS:
             env.clock_hook = self.metrics.on_clock
 
     # ------------------------------------------------------------------
-    def client(self, node_name: str, name: Optional[str] = None) -> PVFSClient:
-        """Create a client on the named node (created if needed)."""
+    def client(
+        self,
+        node_name: str,
+        name: Optional[str] = None,
+        tenant: int = 0,
+    ) -> PVFSClient:
+        """Create a client on the named node (created if needed).
+
+        ``tenant`` indexes into ``PVFSConfig.tenants`` and is stamped on
+        every request the client issues; ignored when tenancy is off.
+        """
         node = self.net.node(node_name)
-        client = PVFSClient(self, node, name or f"c{len(self._clients)}")
+        client = PVFSClient(
+            self, node, name or f"c{len(self._clients)}", tenant=tenant
+        )
         self._clients.append(client)
         return client
 

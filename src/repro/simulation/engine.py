@@ -8,15 +8,40 @@ A deliberately small SimPy-like core:
   the process until the event fires, whose value becomes the ``yield``
   expression's result.  A process is itself an event that fires with the
   generator's return value;
-* :class:`Environment` owns the clock and the priority queue.
+* :class:`Environment` owns the clock and the event queue.
 
-The queue orders by ``(time, sequence)`` so same-time events fire in
+Events fire in ``(time, sequence)`` order so same-time events fire in
 scheduling order — simulations are bit-for-bit deterministic.
+
+The queue is *indexed* rather than a single flat heap, so that a
+4096-client run does not collapse under timer traffic:
+
+* **now-FIFO** — the overwhelmingly common case, an event scheduled at
+  the current instant (``succeed``, process resumes, mailbox wakeups),
+  is an O(1) deque append instead of a heap push.  Mailbox wakeups at
+  the same instant therefore batch in arrival order with no heap
+  traffic.
+* **near heap** — a classic binary heap for short deadlines (within the
+  current timer-wheel slot).
+* **hierarchical timer wheel** — far deadlines (RPC timeout guards,
+  fault timers, long sleeps) land in per-slot buckets; a bucket is
+  flushed into the near heap with original ``(time, seq)`` keys just
+  before the clock can reach it, so delivery order is *exactly* the
+  order the flat heap produced.  Cancelling a wheel timer is O(1) and
+  the dead entry dies in its bucket without ever touching the heap.
+
+:meth:`Timeout.cancel` (the handle :meth:`Environment.call_later`
+returns) marks the queue entry dead; dead entries are dropped when
+encountered at a queue head, filtered on bucket flush, or swept by a
+compaction pass when they outnumber live heap entries — amortized
+O(log n) cancellation, and a fully drained :meth:`Environment.run`
+leaves no dead entries behind (see :meth:`Environment.queue_stats`).
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -132,9 +157,14 @@ class _CallbackShim(Event):
 
 
 class Timeout(Event):
-    """Fires ``delay`` seconds after creation."""
+    """Fires ``delay`` seconds after creation.
 
-    __slots__ = ("delay",)
+    Doubles as the timer handle: :meth:`cancel` removes a not-yet-fired
+    timer from the queue (O(1) in the wheel, lazy in the heap) so
+    defensive deadline timers stop leaving dead entries behind.
+    """
+
+    __slots__ = ("delay", "_entry")
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
@@ -143,7 +173,16 @@ class Timeout(Event):
         self.delay = delay
         self._value = value
         self._state = Event.TRIGGERED
-        env._schedule(self, delay)
+        self._entry = env._schedule(self, delay)
+
+    def cancel(self) -> bool:
+        """Cancel the timer if it has not fired; returns True if it was
+        still pending.  A cancelled timer never runs its callbacks."""
+        entry = self._entry
+        if entry is None:
+            return False
+        self._entry = None
+        return self.env._cancel_entry(entry)
 
 
 class Process(Event):
@@ -286,13 +325,46 @@ class AnyOf(_Condition):
         pass
 
 
+# Queue entry layout: a mutable list ``[time, seq, event, where]``.
+# ``event`` is set to None when the entry is cancelled or popped (the
+# dead marker); ``where`` tracks the container for counter bookkeeping.
+# List comparison only ever reaches (time, seq) because seq is unique.
+_IN_FIFO = 0
+_IN_HEAP = 1
+_IN_WHEEL = 2
+
+
 class Environment:
-    """Owns simulated time and the event queue."""
+    """Owns simulated time and the indexed event queue."""
+
+    #: Width of a level-0 timer-wheel slot (seconds).  Deadlines within
+    #: the current slot go straight to the near heap.
+    WHEEL_SLOT = 1e-3
+    #: Slots per wheel level; level k buckets are SLOT * SPL**k wide.
+    WHEEL_SPL = 256
+    #: Number of wheel levels.  The top level is uncapped (buckets are
+    #: keyed by absolute index in a dict, not a ring), so any horizon
+    #: fits.
+    WHEEL_LEVELS = 2
 
     def __init__(self):
         self.now: float = 0.0
-        self._queue: list[tuple[float, int, Event]] = []
         self._seq = 0
+        # now-FIFO: entries scheduled with zero delay, in seq order
+        self._fifo: deque[list] = deque()
+        self._fifo_live = 0
+        self._fifo_dead = 0
+        # near heap: deadlines within the current wheel slot
+        self._heap: list[list] = []
+        self._heap_live = 0
+        self._heap_dead = 0
+        # hierarchical timer wheel: level -> {bucket index: [entries]}
+        self._wheel_buckets: list[dict[int, list[list]]] = [
+            {} for _ in range(self.WHEEL_LEVELS)
+        ]
+        self._wheel_due: list[tuple[float, int, int]] = []  # (start, level, idx)
+        self._wheel_live = 0
+        self._wheel_dead = 0
         #: Optional observer called as ``hook(prev_now, next_t)`` just
         #: before the clock advances (strictly: only when ``next_t``
         #: exceeds ``now``).  It runs outside the event queue and must
@@ -301,9 +373,152 @@ class Environment:
         self.clock_hook: Optional[Callable[[float, float], None]] = None
 
     # ------------------------------------------------------------------
-    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+    # scheduling internals
+    # ------------------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> list:
         self._seq += 1
-        heapq.heappush(self._queue, (self.now + delay, self._seq, event))
+        if delay == 0.0:
+            entry = [self.now, self._seq, event, _IN_FIFO]
+            self._fifo.append(entry)
+            self._fifo_live += 1
+            return entry
+        t = self.now + delay
+        entry = [t, self._seq, event, _IN_HEAP]
+        if delay < self.WHEEL_SLOT:
+            heapq.heappush(self._heap, entry)
+            self._heap_live += 1
+        else:
+            self._wheel_place(entry, self.WHEEL_LEVELS - 1)
+        return entry
+
+    def _wheel_place(self, entry: list, max_level: int) -> None:
+        """File a future entry in the coarsest wheel bucket that is
+        strictly ahead of the clock, or the near heap if none is."""
+        t = entry[0]
+        now = self.now
+        for level in range(max_level, -1, -1):
+            width = self.WHEEL_SLOT * self.WHEEL_SPL**level
+            idx = int(t / width)
+            if idx > int(now / width):
+                bucket = self._wheel_buckets[level].get(idx)
+                if bucket is None:
+                    bucket = self._wheel_buckets[level][idx] = []
+                    heapq.heappush(self._wheel_due, (idx * width, level, idx))
+                entry[3] = _IN_WHEEL
+                bucket.append(entry)
+                self._wheel_live += 1
+                return
+        entry[3] = _IN_HEAP
+        heapq.heappush(self._heap, entry)
+        self._heap_live += 1
+
+    def _cancel_entry(self, entry: list) -> bool:
+        if entry[2] is None:
+            return False
+        entry[2] = None
+        where = entry[3]
+        if where == _IN_FIFO:
+            self._fifo_live -= 1
+            self._fifo_dead += 1
+        elif where == _IN_HEAP:
+            self._heap_live -= 1
+            self._heap_dead += 1
+            # sweep when the dead outnumber the living
+            if self._heap_dead > 64 and self._heap_dead > self._heap_live:
+                self._heap = [e for e in self._heap if e[2] is not None]
+                heapq.heapify(self._heap)
+                self._heap_dead = 0
+        else:
+            self._wheel_live -= 1
+            self._wheel_dead += 1
+        return True
+
+    def _pop_next(self, deadline: Optional[float]) -> Optional[list]:
+        """Remove and return the next live entry in (time, seq) order,
+        or None if the queue is empty / the next entry lies beyond
+        ``deadline`` (which is then left queued, matching the flat-heap
+        semantics)."""
+        fifo = self._fifo
+        heap = self._heap
+        while fifo and fifo[0][2] is None:
+            fifo.popleft()
+            self._fifo_dead -= 1
+        while heap and heap[0][2] is None:
+            heapq.heappop(heap)
+            self._heap_dead -= 1
+        if self._wheel_live or self._wheel_dead:
+            due = self._wheel_due
+            buckets = self._wheel_buckets
+            while True:
+                if fifo and (not heap or fifo[0] < heap[0]):
+                    cand_t = fifo[0][0]
+                elif heap:
+                    cand_t = heap[0][0]
+                else:
+                    cand_t = None
+                while due and due[0][2] not in buckets[due[0][1]]:
+                    heapq.heappop(due)  # stale registration
+                if not due:
+                    break
+                start, level, idx = due[0]
+                if cand_t is not None:
+                    if start > cand_t:
+                        break
+                elif deadline is not None and start > deadline:
+                    break
+                # flush: every entry in this bucket keeps its original
+                # (time, seq) key, so heap order is exactly what the
+                # flat heap would have produced
+                heapq.heappop(due)
+                bucket = buckets[level].pop(idx)
+                for entry in bucket:
+                    if entry[2] is None:
+                        self._wheel_dead -= 1
+                        continue
+                    self._wheel_live -= 1
+                    if level:
+                        self._wheel_place(entry, level - 1)  # cascade finer
+                    else:
+                        entry[3] = _IN_HEAP
+                        heapq.heappush(heap, entry)
+                        self._heap_live += 1
+                while heap and heap[0][2] is None:
+                    heapq.heappop(heap)
+                    self._heap_dead -= 1
+        if fifo and (not heap or fifo[0] < heap[0]):
+            entry = fifo[0]
+            if deadline is not None and entry[0] > deadline:
+                return None
+            fifo.popleft()
+            self._fifo_live -= 1
+            return entry
+        if heap:
+            entry = heap[0]
+            if deadline is not None and entry[0] > deadline:
+                return None
+            heapq.heappop(heap)
+            self._heap_live -= 1
+            return entry
+        return None
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def queue_stats(self) -> dict[str, int]:
+        """Live/dead entry counts across the FIFO, heap, and wheel.
+
+        A fully drained :meth:`run` leaves ``{"live": 0, "dead": 0}`` —
+        cancelled timers are physically removed, never popped as events.
+        """
+        return {
+            "live": self._fifo_live + self._heap_live + self._wheel_live,
+            "dead": self._fifo_dead + self._heap_dead + self._wheel_dead,
+        }
+
+    @property
+    def scheduled_events(self) -> int:
+        """Total events ever scheduled (monotone; profiling counter)."""
+        return self._seq
 
     # ------------------------------------------------------------------
     # factories
@@ -324,6 +539,11 @@ class Environment:
         processes: nothing suspends on them, and the callback must not
         create further events at trigger time beyond what a process
         resume could.
+
+        Returns the :class:`Timeout`, which doubles as a timer handle:
+        callers arming defensive deadlines (RPC timeout guards) should
+        :meth:`Timeout.cancel` it once the guarded operation completes,
+        so the queue is not left carrying dead entries.
         """
         ev = Timeout(self, delay)
         ev.add_callback(fn)
@@ -352,14 +572,13 @@ class Environment:
             deadline = float(until)
 
         hook = self.clock_hook
-        while self._queue:
-            t, _, event = self._queue[0]
-            if deadline is not None and t > deadline:
-                if hook is not None and deadline > self.now:
-                    hook(self.now, deadline)
-                self.now = deadline
-                return None
-            heapq.heappop(self._queue)
+        while True:
+            entry = self._pop_next(deadline)
+            if entry is None:
+                break
+            t = entry[0]
+            event = entry[2]
+            entry[2] = None  # popped: the handle (if any) is now inert
             if hook is not None and t > self.now:
                 hook(self.now, t)
             self.now = t

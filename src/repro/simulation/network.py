@@ -106,6 +106,10 @@ class Mailbox:
         """Event firing with the next :class:`Message`."""
         return self._store.get()
 
+    def drain(self) -> list:
+        """Take every queued :class:`Message` at once (batched wakeup)."""
+        return self._store.drain()
+
     def __len__(self) -> int:
         return len(self._store)
 

@@ -125,3 +125,13 @@ class Store:
         else:
             self._getters.append(ev)
         return ev
+
+    def drain(self) -> list:
+        """Take every queued item at once (a batched mailbox wakeup).
+
+        Lets a daemon woken by one ``get`` absorb the whole backlog
+        synchronously instead of paying one event hop per message.
+        """
+        items = list(self._items)
+        self._items.clear()
+        return items

@@ -11,6 +11,7 @@ from repro.bench.compare import (
     compare_dtype_cache_docs,
     compare_faults_docs,
     compare_pipeline_docs,
+    compare_scale_docs,
     render_compare,
     update_baselines,
 )
@@ -58,6 +59,33 @@ FAULTS_BASE = {
             "heavy": {"supported": True, "mbps": 0.1, "elapsed_s": 4.0},
             "unusual": {"supported": False, "note": "n/a"},
         }
+    },
+}
+
+SCALE_BASE = {
+    "schema": 1,
+    "method": "datatype_io",
+    "spec": {"cells": [[64, 1, 4]], "weighted": None},
+    "cells": [
+        {
+            "clients": 64,
+            "tenants": 1,
+            "iods": 4,
+            "mbps": 30.0,
+            "elapsed_s": 0.26,
+            "jain_weighted": 1.0,
+            "total_bytes": 8388608,
+        }
+    ],
+    "weighted": {
+        "clients": 32,
+        "tenants": 4,
+        "iods": 4,
+        "weights": [1.0, 2.0, 4.0, 8.0],
+        "mbps": 25.0,
+        "elapsed_s": 0.4,
+        "jain_weighted": 0.99,
+        "total_bytes": 4194304,
     },
 }
 
@@ -198,6 +226,41 @@ def test_faults_support_loss_and_coverage():
     assert not any(d.regression for d in deltas)
 
 
+def test_scale_identical_docs_pass():
+    deltas = compare_scale_docs(SCALE_BASE, copy.deepcopy(SCALE_BASE))
+    assert deltas and not any(d.regression for d in deltas)
+
+
+def test_scale_bandwidth_drop_is_regression():
+    cur = copy.deepcopy(SCALE_BASE)
+    cur["cells"][0]["mbps"] = 20.0
+    deltas = compare_scale_docs(SCALE_BASE, cur)
+    bad = [d for d in deltas if d.regression]
+    assert len(bad) == 1 and bad[0].source == "scale/64x1x4"
+    assert bad[0].metric == "mbps"
+
+
+def test_scale_fairness_drop_is_regression_even_if_faster():
+    """Un-fairing the rotation regresses even with better throughput."""
+    cur = copy.deepcopy(SCALE_BASE)
+    cur["weighted"]["jain_weighted"] = 0.6
+    cur["weighted"]["mbps"] = 50.0  # a "speedup"
+    deltas = compare_scale_docs(SCALE_BASE, cur)
+    bad = [d for d in deltas if d.regression]
+    assert [
+        (d.source, d.metric) for d in bad
+    ] == [("scale/weighted", "jain_weighted")]
+
+
+def test_scale_missing_cell_is_coverage_regression():
+    cur = copy.deepcopy(SCALE_BASE)
+    cur["cells"] = []
+    deltas = compare_scale_docs(SCALE_BASE, cur)
+    bad = [d for d in deltas if d.regression]
+    assert len(bad) == 1
+    assert bad[0].source == "scale/64x1x4" and bad[0].metric == "coverage"
+
+
 def test_compare_against_dir_requires_a_baseline(tmp_path):
     with pytest.raises(FileNotFoundError):
         compare_against_dir(tmp_path)
@@ -207,13 +270,17 @@ def test_compare_against_dir_with_injected_docs(tmp_path):
     (tmp_path / "BENCH_pipeline.json").write_text(json.dumps(PIPE_BASE))
     (tmp_path / "BENCH_dtype_cache.json").write_text(json.dumps(CACHE_BASE))
     (tmp_path / "BENCH_faults.json").write_text(json.dumps(FAULTS_BASE))
+    (tmp_path / "BENCH_scale.json").write_text(json.dumps(SCALE_BASE))
     deltas, notes = compare_against_dir(
         tmp_path,
         pipeline_doc=copy.deepcopy(PIPE_BASE),
         dtype_cache_doc=copy.deepcopy(CACHE_BASE),
         faults_doc=copy.deepcopy(FAULTS_BASE),
+        scale_doc=copy.deepcopy(SCALE_BASE),
     )
-    assert notes == []
+    # a passing gate says what it checked: one line per file + a total
+    assert notes[-1] == "4 baseline file(s) checked"
+    assert all("field(s) diffed" in n for n in notes[:-1])
     assert not any(d.regression for d in deltas)
 
     regressed = copy.deepcopy(PIPE_BASE)
@@ -223,6 +290,7 @@ def test_compare_against_dir_with_injected_docs(tmp_path):
         pipeline_doc=regressed,
         dtype_cache_doc=copy.deepcopy(CACHE_BASE),
         faults_doc=copy.deepcopy(FAULTS_BASE),
+        scale_doc=copy.deepcopy(SCALE_BASE),
     )
     assert any(d.regression for d in deltas)
 
@@ -232,9 +300,11 @@ def test_compare_against_dir_skips_missing_files(tmp_path):
     deltas, notes = compare_against_dir(
         tmp_path, pipeline_doc=copy.deepcopy(PIPE_BASE)
     )
-    assert len(notes) == 2
+    assert len(notes) == 5  # 1 diffed + 3 skipped + files-checked total
     assert any("BENCH_dtype_cache.json" in n for n in notes)
     assert any("BENCH_faults.json" in n for n in notes)
+    assert any("BENCH_scale.json" in n for n in notes)
+    assert notes[-1] == "1 baseline file(s) checked"
 
 
 def test_update_baselines_writes_all_documents(tmp_path):
@@ -243,11 +313,13 @@ def test_update_baselines_writes_all_documents(tmp_path):
         pipeline_doc=copy.deepcopy(PIPE_BASE),
         dtype_cache_doc=copy.deepcopy(CACHE_BASE),
         faults_doc=copy.deepcopy(FAULTS_BASE),
+        scale_doc=copy.deepcopy(SCALE_BASE),
     )
     assert [p.name for p in written] == [
         "BENCH_pipeline.json",
         "BENCH_dtype_cache.json",
         "BENCH_faults.json",
+        "BENCH_scale.json",
     ]
     # the refreshed baselines must round-trip and gate clean against
     # the very documents they were refreshed from
@@ -257,8 +329,10 @@ def test_update_baselines_writes_all_documents(tmp_path):
         pipeline_doc=copy.deepcopy(PIPE_BASE),
         dtype_cache_doc=copy.deepcopy(CACHE_BASE),
         faults_doc=copy.deepcopy(FAULTS_BASE),
+        scale_doc=copy.deepcopy(SCALE_BASE),
     )
-    assert notes == [] and not any(d.regression for d in deltas)
+    assert notes[-1] == "4 baseline file(s) checked"
+    assert not any(d.regression for d in deltas)
 
 
 def test_cli_update_baseline_flag(tmp_path, capsys):
@@ -273,6 +347,7 @@ def test_cli_update_baseline_flag(tmp_path, capsys):
             pipeline_doc=copy.deepcopy(PIPE_BASE),
             dtype_cache_doc=copy.deepcopy(CACHE_BASE),
             faults_doc=copy.deepcopy(FAULTS_BASE),
+            scale_doc=copy.deepcopy(SCALE_BASE),
         )
 
     compare_mod.update_baselines = fake_update

@@ -1,0 +1,150 @@
+"""Indexed event queue: ordering equivalence + cancellation hygiene.
+
+The engine's three scheduling containers (now-FIFO, near heap, timer
+wheel) are an implementation detail; the observable contract is the
+old flat-heapq one — events fire in exactly ``(time, seq)`` order.
+Hypothesis drives random delay mixes across all container boundaries
+and checks the fired order against that key, and the cancellation
+tests pin the satellite guarantee: a drained queue holds no dead
+entries (``queue_stats() == {"live": 0, "dead": 0}``).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.simulation import Environment
+
+# Delays chosen to land in every container and straddle its edges:
+# 0 → now-FIFO; < 1 ms → near heap; >= 1 ms → wheel level 0; >= 256 ms
+# → wheel level 1; >= 65.536 s → beyond both levels (falls through);
+# plus arbitrary floats for the unprincipled cases.
+DELAYS = st.one_of(
+    st.sampled_from(
+        [
+            0.0,
+            1e-9,
+            9.99e-4,
+            1e-3,
+            1.0001e-3,
+            0.255,
+            0.256,
+            0.257,
+            65.535,
+            65.536,
+            70.0,
+            1e4,
+        ]
+    ),
+    st.floats(min_value=0.0, max_value=1e5, allow_nan=False, width=32),
+)
+
+
+@given(st.lists(st.tuples(DELAYS, st.booleans()), min_size=1, max_size=150))
+@settings(max_examples=200, deadline=None)
+def test_fire_order_is_time_seq(ops):
+    """Timers fire in (time, seq) order; cancelled ones never fire."""
+    env = Environment()
+    fired: list[int] = []
+    entries = []  # (fire_time, seq, idx, cancelled)
+    timers = []
+    for idx, (delay, cancel) in enumerate(ops):
+        timer = env.call_later(delay, lambda _ev, i=idx: fired.append(i))
+        entries.append((delay, env.scheduled_events, idx, cancel))
+        timers.append(timer)
+    for (_, _, _, cancel), timer in zip(entries, timers):
+        if cancel:
+            assert timer.cancel()
+            assert not timer.cancel()  # idempotent
+    env.run()
+    want = [
+        idx
+        for _, _, idx, cancel in sorted(entries, key=lambda e: (e[0], e[1]))
+        if not cancel
+    ]
+    assert fired == want
+    assert env.queue_stats() == {"live": 0, "dead": 0}
+
+
+@given(st.lists(st.tuples(DELAYS, DELAYS), min_size=1, max_size=60))
+@settings(max_examples=150, deadline=None)
+def test_nested_scheduling_keeps_time_seq_order(pairs):
+    """Timers armed *while the clock runs* obey the same total order.
+
+    Every root timer schedules a child on firing — children enter the
+    queue mid-run (exercising wheel cascades and the same-instant
+    FIFO path) and must still interleave with everything else by
+    ``(time, seq)``.
+    """
+    env = Environment()
+    fired: list[tuple] = []
+    entries: list[tuple] = []  # (fire_time, seq, label)
+
+    def arm(delay, label, child_delay=None):
+        def cb(_ev):
+            fired.append(label)
+            if child_delay is not None:
+                arm(child_delay, ("child",) + label)
+
+        env.call_later(delay, cb)
+        entries.append((env.now + delay, env.scheduled_events, label))
+
+    for i, (d1, d2) in enumerate(pairs):
+        arm(d1, ("root", i), child_delay=d2)
+    env.run()
+    want = [label for _, _, label in sorted(entries, key=lambda e: (e[0], e[1]))]
+    assert fired == want
+    assert env.queue_stats() == {"live": 0, "dead": 0}
+
+
+def test_ten_thousand_armed_then_cancelled_rpc_timers():
+    """The PR-6 satellite regression: guard-timer churn must not leak.
+
+    10k armed-then-cancelled RPC deadline guards (the client failover
+    pattern) plus one real timer: only the real one fires, and the
+    drained queue reports zero live *and* zero dead entries — the
+    heap-compaction path really reclaims the corpses.
+    """
+    env = Environment()
+    fired: list[str] = []
+
+    def proc():
+        for _ in range(100):
+            timers = [
+                env.call_later(30.0, lambda _ev: fired.append("guard"))
+                for _ in range(100)
+            ]
+            for t in timers:
+                assert t.cancel()
+            yield env.timeout(1e-3)
+        yield env.timeout(0.5)
+        fired.append("real")
+
+    env.process(proc())
+    env.run()
+    assert fired == ["real"]
+    assert env.queue_stats() == {"live": 0, "dead": 0}
+
+
+def test_cancel_after_fire_is_refused():
+    env = Environment()
+    hits: list[int] = []
+    timer = env.call_later(0.25, lambda _ev: hits.append(1))
+    env.run()
+    assert hits == [1]
+    assert not timer.cancel()
+    assert env.queue_stats() == {"live": 0, "dead": 0}
+
+
+def test_deadline_leaves_future_entries_queued():
+    """run(until=t) must not disturb entries beyond the deadline."""
+    env = Environment()
+    fired: list[float] = []
+    for delay in (0.1, 0.3, 5.0, 500.0):
+        env.call_later(delay, lambda _ev, d=delay: fired.append(d))
+    env.run(until=1.0)
+    assert fired == [0.1, 0.3]
+    assert env.now == 1.0
+    stats = env.queue_stats()
+    assert stats["live"] == 2
+    env.run(until=1000.0)
+    assert fired == [0.1, 0.3, 5.0, 500.0]
+    assert env.queue_stats() == {"live": 0, "dead": 0}
