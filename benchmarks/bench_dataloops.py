@@ -5,10 +5,12 @@ dataloop conversion, dataloop stream expansion (the server-side path),
 full flattening, and wire encoding.
 """
 
+import numpy as np
 import pytest
 
 from repro.datatypes import INT, subarray, vector
 from repro.dataloops import (
+    Dataloop,
     DataloopStream,
     build_dataloop,
     dumps,
@@ -70,6 +72,32 @@ def bench_partial_batches_64(benchmark, vector_loop):
         return n
 
     assert benchmark(run) == 100_000
+
+
+def _irregular_loop(kind, n=20_000):
+    rng = np.random.default_rng(3)
+    bls = rng.integers(1, 4, n)
+    offs = np.cumsum(rng.integers(40, 80, n)) - 40
+    child = Dataloop.final_vector(2, 1, 6, 2, extent=16)
+    extent = int(offs[-1]) + 64
+    if kind == "indexed":
+        return Dataloop.indexed(bls, offs, child, extent)
+    return Dataloop.struct(bls, offs, [child] * n, extent)
+
+
+@pytest.mark.parametrize("kind", ["indexed", "struct"])
+def bench_stream_irregular_window(benchmark, kind):
+    """Partial window over a 20k-block indexed/struct loop (run table)."""
+    loop = _irregular_loop(kind)
+    size = loop.data_size
+
+    def run():
+        return DataloopStream(
+            loop, first=size // 3, last=2 * size // 3, cache_threshold=1 << 30
+        ).regions()
+
+    regions = benchmark(run)
+    assert regions.total_bytes == 2 * size // 3 - size // 3
 
 
 def bench_datatype_flatten(benchmark):

@@ -54,6 +54,33 @@ def bench_split_at_stream(benchmark, big_regions):
     assert out.total_bytes == big_regions.total_bytes
 
 
+def bench_intersect_100k(benchmark, big_regions):
+    other = Regions.from_pairs([(i * 20 + 6, 10) for i in range(100_000)])
+    out = benchmark(big_regions.intersect, other)
+    assert out.count > 0
+
+
+def bench_normalized_unsorted(benchmark):
+    rng = np.random.default_rng(1)
+    r = Regions(
+        rng.integers(0, 1 << 20, 100_000), rng.integers(1, 64, 100_000)
+    )
+    out = benchmark(r.normalized)
+    assert out.total_bytes <= r.total_bytes
+
+
+def bench_coalesce_sparse(benchmark, big_regions):
+    out = benchmark(big_regions.coalesce)
+    assert out.count == big_regions.count  # 12-byte runs, 12-byte gaps
+
+
+def bench_partition_with_stream(benchmark, big_regions):
+    lo, hi = big_regions.extent()
+    bounds = np.linspace(lo, hi, 257).astype(np.int64)
+    parts = benchmark(big_regions.partition_with_stream, bounds)
+    assert sum(c.total_bytes for c, _ in parts) == big_regions.total_bytes
+
+
 def bench_distribution_split(benchmark, big_regions):
     """Striping split of a 100k-region access (client job building)."""
     dist = Distribution(16, 65536)

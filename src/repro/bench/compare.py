@@ -6,7 +6,8 @@ Re-collects the machine-independent benchmark documents
 :func:`repro.bench.dtype_cache.collect`, ``BENCH_faults.json`` via
 :func:`repro.bench.faultscmd.collect_faults_bench`,
 ``BENCH_scale.json`` via :func:`repro.bench.scalecmd
-.collect_scale_bench`) and diffs them
+.collect_scale_bench`, ``BENCH_hotpaths.json`` via
+:func:`repro.bench.hotpaths.collect`) and diffs them
 against the checked-in copies under ``results/``.  Every compared quantity is a
 *simulated* figure (bandwidth, simulated elapsed seconds, server stage
 busy time, cache hit rate), so the gate is deterministic: any change
@@ -34,6 +35,7 @@ __all__ = [
     "Delta",
     "compare_dtype_cache_docs",
     "compare_faults_docs",
+    "compare_hotpaths_docs",
     "compare_pipeline_docs",
     "compare_scale_docs",
     "compare_against_dir",
@@ -282,6 +284,51 @@ def compare_scale_docs(
     return deltas
 
 
+def compare_hotpaths_docs(
+    base: dict, cur: dict, tolerance: float = DEFAULT_TOLERANCE
+) -> list[Delta]:
+    """Diff two ``BENCH_hotpaths.json`` documents (baseline, current).
+
+    Only the deterministic fields gate: the region counts/bytes each
+    hot path produces, the simulated figures of the end-to-end runs,
+    and the scalar-vs-vector ``bit_identical`` flag.  The wall-clock
+    ``wall_s``/``speedup`` numbers are machine-dependent and ignored.
+    """
+    deltas: list[Delta] = []
+    for name, b in base.get("paths", {}).items():
+        source = f"hotpaths/{name}"
+        c = cur.get("paths", {}).get(name)
+        if c is None:
+            deltas.append(
+                Delta(
+                    source, "coverage", None, None, 0.0,
+                    True, "path missing from current run",
+                )
+            )
+            continue
+        if b.get("bit_identical") and not c.get("bit_identical"):
+            deltas.append(
+                Delta(
+                    source, "bit_identical", 1.0, 0.0, -1.0,
+                    True, "vectorized output diverged from scalar",
+                )
+            )
+        for metric in (
+            "regions",
+            "bytes",
+            "sim_s",
+            "io_ops",
+            "accessed_bytes",
+            "resent_bytes",
+        ):
+            if metric in b and metric in c:
+                _diff(
+                    deltas, source, metric, b[metric], c[metric],
+                    tolerance, higher_is_better=False,
+                )
+    return deltas
+
+
 def compare_against_dir(
     baseline_dir: pathlib.Path,
     tolerance: float = DEFAULT_TOLERANCE,
@@ -290,6 +337,7 @@ def compare_against_dir(
     dtype_cache_doc: Optional[dict] = None,
     faults_doc: Optional[dict] = None,
     scale_doc: Optional[dict] = None,
+    hotpaths_doc: Optional[dict] = None,
 ) -> tuple[list[Delta], list[str]]:
     """Re-collect fresh benchmark docs and diff against ``baseline_dir``.
 
@@ -366,6 +414,24 @@ def compare_against_dir(
     else:
         notes.append(f"skipped: {scale_path} not found")
 
+    hot_path = baseline_dir / "BENCH_hotpaths.json"
+    if hot_path.exists():
+        found += 1
+        base = json.loads(hot_path.read_text())
+        if hotpaths_doc is None:
+            from .hotpaths import collect
+
+            # repeats=1 at the baseline's sizes: only deterministic
+            # fields are compared, best-of-N wall timing is wasted here
+            hotpaths_doc = collect(
+                quick=base.get("quick", False), repeats=1
+            )
+        new = compare_hotpaths_docs(base, hotpaths_doc, tolerance)
+        deltas.extend(new)
+        notes.append(f"{hot_path.name}: {len(new)} field(s) diffed")
+    else:
+        notes.append(f"skipped: {hot_path} not found")
+
     if not found:
         raise FileNotFoundError(
             f"no BENCH_*.json baselines under {baseline_dir}"
@@ -381,6 +447,7 @@ def update_baselines(
     dtype_cache_doc: Optional[dict] = None,
     faults_doc: Optional[dict] = None,
     scale_doc: Optional[dict] = None,
+    hotpaths_doc: Optional[dict] = None,
 ) -> list[pathlib.Path]:
     """Re-collect every benchmark document and overwrite the baselines.
 
@@ -426,6 +493,14 @@ def update_baselines(
         scale_doc = collect_scale_bench()
     path = baseline_dir / "BENCH_scale.json"
     path.write_text(json.dumps(scale_doc, indent=2, sort_keys=True) + "\n")
+    written.append(path)
+
+    if hotpaths_doc is None:
+        from .hotpaths import collect
+
+        hotpaths_doc = collect()
+    path = baseline_dir / "BENCH_hotpaths.json"
+    path.write_text(json.dumps(hotpaths_doc, indent=2, sort_keys=True) + "\n")
     written.append(path)
     return written
 

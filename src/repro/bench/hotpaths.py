@@ -1,0 +1,322 @@
+"""``repro-bench hotpaths``: vectorized core vs scalar reference.
+
+Every numpy hot path keeps its original per-block/per-region Python
+implementation behind the ``REPRO_SCALAR_FALLBACK`` switch
+(:mod:`repro.vectorize`).  This benchmark runs each path twice — scalar
+reference, then vectorized — on the workload shapes of
+``benchmarks/bench_dataloops.py`` and ``benchmarks/bench_regions.py``,
+and reports the wall-clock speedup per path plus the aggregate.
+
+Two invariants are checked on every run and recorded in
+``BENCH_hotpaths.json``:
+
+* the *outputs* (region counts/bytes of the expanded streams and
+  flattenings, intersection results) are identical across modes;
+* the end-to-end paths' *simulated* figures (elapsed, io_ops, accessed
+  and resent bytes) are bit-identical — vectorization may only change
+  wall-clock, never charged costs.
+
+Wall-clock fields are machine-dependent; ``repro-bench compare`` gates
+only the deterministic fields of this document.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from typing import Callable
+
+import numpy as np
+
+from ..vectorize import scalar_mode
+
+__all__ = [
+    "PATHS",
+    "collect",
+    "write_hotpaths_bench",
+    "render_hotpaths",
+]
+
+SCHEMA = 1
+
+_I64 = np.int64
+
+#: deterministic fields of end-to-end runs that must be bit-identical
+_SIM_KEYS = ("sim_s", "io_ops", "accessed_bytes", "resent_bytes")
+
+
+def _scale(quick: bool, full: int, small: int) -> int:
+    return small if quick else full
+
+
+# ----------------------------------------------------------------------
+# micro paths: dataloop streaming
+# ----------------------------------------------------------------------
+def _sparse_child():
+    """A 2-run child loop; defeats dense-block shortcuts."""
+    from ..dataloops import Dataloop
+
+    return Dataloop.final_vector(2, 1, 6, 2, extent=16)
+
+
+def _run_dataloop(loop, windows) -> dict:
+    from ..dataloops.segment import DataloopStream
+
+    ds = loop.data_size
+    t0 = time.perf_counter()
+    regions = 0
+    total = 0
+    for first, last in windows:
+        out = DataloopStream(
+            loop,
+            count=2,
+            first=first,
+            last=min(last, 2 * ds),
+            cache_threshold=1 << 30,
+        ).regions()
+        regions += out.count
+        total += out.total_bytes
+    wall = time.perf_counter() - t0
+    return {"wall_s": wall, "regions": regions, "bytes": total}
+
+
+def path_dataloop_indexed(quick: bool) -> dict:
+    """Interior ``indexed`` walk: many small blocks, partial windows."""
+    from ..dataloops import Dataloop
+
+    n = _scale(quick, 20_000, 2_000)
+    rng = np.random.default_rng(11)
+    bls = rng.integers(1, 4, n)
+    offs = np.cumsum(rng.integers(40, 80, n)) - 40
+    child = _sparse_child()
+    loop = Dataloop.indexed(bls, offs, child, int(offs[-1]) + 64)
+    ds = loop.data_size
+    windows = [(ds // 5, 2 * ds - ds // 5), (7, ds - 3)]
+    return _run_dataloop(loop, windows)
+
+
+def path_dataloop_struct(quick: bool) -> dict:
+    """Interior ``struct`` walk: many fields sharing one child."""
+    from ..dataloops import Dataloop
+
+    n = _scale(quick, 16_000, 1_600)
+    rng = np.random.default_rng(12)
+    bls = rng.integers(1, 3, n)
+    offs = np.cumsum(rng.integers(40, 70, n)) - 40
+    child = _sparse_child()
+    loop = Dataloop.struct(bls, offs, [child] * n, int(offs[-1]) + 64)
+    ds = loop.data_size
+    windows = [(ds // 4, 2 * ds - ds // 4), (5, ds - 5)]
+    return _run_dataloop(loop, windows)
+
+
+# ----------------------------------------------------------------------
+# micro paths: client-side flattening (list I/O's request builder)
+# ----------------------------------------------------------------------
+def _flatten_result(t, count: int = 2) -> dict:
+    t0 = time.perf_counter()
+    out = t.flatten(count)
+    wall = time.perf_counter() - t0
+    return {"wall_s": wall, "regions": out.count, "bytes": out.total_bytes}
+
+
+def path_flatten_indexed(quick: bool) -> dict:
+    """``hindexed`` over a non-dense oldtype (general broadcast path)."""
+    from ..datatypes import BYTE, hindexed, vector
+
+    n = _scale(quick, 40_000, 4_000)
+    rng = np.random.default_rng(13)
+    old = vector(2, 1, 3, BYTE)  # 2 runs, size != extent
+    bls = rng.integers(1, 4, n).tolist()
+    disps = (np.cumsum(rng.integers(16, 40, n)) - 16).tolist()
+    return _flatten_result(hindexed(bls, disps, old))
+
+
+def path_flatten_struct(quick: bool) -> dict:
+    """Homogeneous ``struct``: one shared field type, many fields."""
+    from ..datatypes import BYTE, struct, vector
+
+    n = _scale(quick, 30_000, 3_000)
+    rng = np.random.default_rng(14)
+    old = vector(2, 1, 3, BYTE)
+    bls = rng.integers(1, 3, n).tolist()
+    disps = (np.cumsum(rng.integers(16, 32, n)) - 16).tolist()
+    return _flatten_result(struct(bls, disps, [old] * n))
+
+
+def path_flatten_darray(quick: bool) -> dict:
+    """Cyclic ``darray`` (HPF decomposition → hindexed chain)."""
+    from ..datatypes import BYTE, darray, vector
+
+    g = _scale(quick, 60_000, 6_000)
+    old = vector(2, 1, 3, BYTE)
+    t = darray(
+        4, 1, [g], ["cyclic"], [2], [4], old
+    )
+    return _flatten_result(t)
+
+
+# ----------------------------------------------------------------------
+# micro paths: region set algebra
+# ----------------------------------------------------------------------
+def path_regions_intersect(quick: bool) -> dict:
+    """Interval intersection of two large sorted sets."""
+    from ..regions import Regions
+
+    n = _scale(quick, 150_000, 15_000)
+    a = Regions(np.arange(n, dtype=_I64) * 7, np.full(n, 4, dtype=_I64))
+    b = Regions(np.arange(n, dtype=_I64) * 5 + 3, np.full(n, 3, dtype=_I64))
+    t0 = time.perf_counter()
+    out = a.intersect(b)
+    wall = time.perf_counter() - t0
+    return {"wall_s": wall, "regions": out.count, "bytes": out.total_bytes}
+
+
+def path_regions_partition(quick: bool) -> dict:
+    """Domain partitioning (two-phase exchange / sieving hole analysis)."""
+    from ..regions import Regions
+
+    n = _scale(quick, 120_000, 12_000)
+    k = _scale(quick, 512, 64)
+    regions = Regions(
+        np.arange(n, dtype=_I64) * 9, np.full(n, 5, dtype=_I64)
+    )
+    bounds = np.linspace(0, n * 9 + 5, k + 1).astype(_I64)
+    t0 = time.perf_counter()
+    parts = regions.partition_with_stream(bounds)
+    wall = time.perf_counter() - t0
+    return {
+        "wall_s": wall,
+        "regions": int(sum(c.count for c, _ in parts)),
+        "bytes": int(sum(c.total_bytes for c, _ in parts)),
+    }
+
+
+# ----------------------------------------------------------------------
+# end-to-end paths: full access methods through the simulator
+# ----------------------------------------------------------------------
+def _run_method(method: str, quick: bool) -> dict:
+    from .runner import run_workload
+    from .workloads import TileWorkload
+
+    wl = TileWorkload.reduced(frames=1 if quick else 2)
+    t0 = time.perf_counter()
+    r = run_workload(wl, method, phantom=True)
+    wall = time.perf_counter() - t0
+    return {
+        "wall_s": wall,
+        "sim_s": r.elapsed,
+        "io_ops": r.io_ops,
+        "accessed_bytes": r.accessed_bytes,
+        "resent_bytes": r.resent_bytes,
+    }
+
+
+def path_sieving_endtoend(quick: bool) -> dict:
+    return _run_method("data_sieving", quick)
+
+
+def path_twophase_endtoend(quick: bool) -> dict:
+    return _run_method("two_phase", quick)
+
+
+def path_listio_endtoend(quick: bool) -> dict:
+    return _run_method("list_io", quick)
+
+
+PATHS: dict[str, Callable[[bool], dict]] = {
+    "dataloop_indexed": path_dataloop_indexed,
+    "dataloop_struct": path_dataloop_struct,
+    "flatten_indexed": path_flatten_indexed,
+    "flatten_struct": path_flatten_struct,
+    "flatten_darray": path_flatten_darray,
+    "regions_intersect": path_regions_intersect,
+    "regions_partition": path_regions_partition,
+    "sieving_endtoend": path_sieving_endtoend,
+    "twophase_endtoend": path_twophase_endtoend,
+    "listio_endtoend": path_listio_endtoend,
+}
+
+
+def _identical(a: dict, b: dict) -> bool:
+    keys = [k for k in a if k != "wall_s"]
+    return all(a[k] == b[k] for k in keys)
+
+
+def collect(quick: bool = False, repeats: int = 3) -> dict:
+    """Run every path scalar and vectorized; best-of-``repeats`` walls.
+
+    Objects are rebuilt inside each path run, so per-instance caches
+    (flattenings, run tables) never leak between modes.
+    """
+    out: dict = {
+        "schema": SCHEMA,
+        "note": (
+            "vectorized numpy core vs REPRO_SCALAR_FALLBACK=1 reference; "
+            "wall_s/speedup are machine-dependent, all other fields are "
+            "deterministic and bit-identical across modes by construction"
+        ),
+        "quick": quick,
+        "paths": {},
+    }
+    for name, fn in PATHS.items():
+        runs: dict[str, dict] = {}
+        for mode in ("scalar", "vector"):
+            best = None
+            for _ in range(repeats):
+                with scalar_mode(mode == "scalar"):
+                    r = fn(quick)
+                if best is None or r["wall_s"] < best["wall_s"]:
+                    best = r
+            runs[mode] = best
+        scalar, vector = runs["scalar"], runs["vector"]
+        entry = {
+            "scalar": scalar,
+            "vector": vector,
+            "speedup": (
+                scalar["wall_s"] / vector["wall_s"]
+                if vector["wall_s"]
+                else 0.0
+            ),
+            "bit_identical": _identical(scalar, vector),
+        }
+        # deterministic fields, hoisted for the compare gate
+        for k in scalar:
+            if k != "wall_s":
+                entry[k] = scalar[k]
+        out["paths"][name] = entry
+    walls_scalar = sum(p["scalar"]["wall_s"] for p in out["paths"].values())
+    walls_vector = sum(p["vector"]["wall_s"] for p in out["paths"].values())
+    out["speedup"] = walls_scalar / walls_vector if walls_vector else 0.0
+    out["bit_identical"] = all(
+        p["bit_identical"] for p in out["paths"].values()
+    )
+    return out
+
+
+def render_hotpaths(data: dict) -> str:
+    lines = []
+    for name, p in data["paths"].items():
+        flag = "" if p["bit_identical"] else "  MISMATCH"
+        lines.append(
+            f"{name:>20s}: {p['speedup']:8.2f}x "
+            f"(scalar {p['scalar']['wall_s'] * 1e3:8.2f} ms, "
+            f"vector {p['vector']['wall_s'] * 1e3:8.2f} ms){flag}"
+        )
+    lines.append(
+        f"{'aggregate':>20s}: {data['speedup']:8.2f}x, "
+        f"bit-identical: {data['bit_identical']}"
+    )
+    return "\n".join(lines)
+
+
+def write_hotpaths_bench(
+    out_dir: pathlib.Path | None, quick: bool = False
+) -> tuple[pathlib.Path, dict]:
+    data = collect(quick=quick, repeats=2 if quick else 3)
+    out_dir = pathlib.Path(out_dir) if out_dir else pathlib.Path("results")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / "BENCH_hotpaths.json"
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path, data

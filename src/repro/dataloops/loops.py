@@ -30,12 +30,45 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..regions import Regions
+from ..vectorize import scalar_fallback
 
 __all__ = ["Dataloop", "KINDS"]
 
 KINDS = ("contig", "vector", "blockindexed", "indexed", "struct")
 
 _I64 = np.int64
+
+
+def _tile_blocks(
+    block_offsets: np.ndarray,
+    blocksizes: np.ndarray,
+    step: int,
+    flat: Regions,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenated per-block tilings of ``flat``, fully vectorized.
+
+    Block ``j`` contributes ``blocksizes[j]`` instances of ``flat`` at
+    byte stride ``step``, anchored at ``block_offsets[j]`` — the
+    region sequence of an ``indexed`` loop (or a ``struct`` whose
+    fields share one child).  Equivalent to the per-block Python loop
+    ``flat.tile(bs, step).shift(off)`` + concat, but built with one
+    ``repeat``/``arange`` broadcast.  Returns ``(offsets, lengths)``.
+    """
+    n_inst = int(blocksizes.sum()) if blocksizes.size else 0
+    r = flat.count
+    if n_inst == 0 or r == 0:
+        e = np.empty(0, dtype=_I64)
+        return e, e
+    cum_excl = np.concatenate(([0], np.cumsum(blocksizes)[:-1]))
+    # per-instance anchor: block offset + instance-within-block * step
+    inst = np.repeat(block_offsets, blocksizes) + (
+        np.arange(n_inst, dtype=_I64) - np.repeat(cum_excl, blocksizes)
+    ) * _I64(step)
+    offs = (inst[:, None] + flat.offsets[None, :]).reshape(-1)
+    lens = np.ascontiguousarray(
+        np.broadcast_to(flat.lengths[None, :], (n_inst, r))
+    ).reshape(-1)
+    return offs, lens
 
 
 class Dataloop:
@@ -70,6 +103,7 @@ class Dataloop:
         "_block_stream_cum",
         "_flat_cache",
         "_block_flat_cache",
+        "_run_table",
         "_fingerprint",
     )
 
@@ -111,6 +145,7 @@ class Dataloop:
         self._compute_metrics()
         self._flat_cache: Regions | None = None
         self._block_flat_cache: Regions | None = None
+        self._run_table: tuple | None = None
         self._fingerprint: bytes | None = None
 
     # ------------------------------------------------------------------
@@ -442,6 +477,105 @@ class Dataloop:
         return self._flat_cache
 
     def _flatten_one(self) -> Regions:
+        """One instance's regions, traversal order, uncoalesced.
+
+        Final loops and contig/vector interiors are inherently
+        vectorized (``tile`` broadcasts).  The per-block kinds —
+        blockindexed, indexed, and structs whose fields share a child —
+        are built with a single ``repeat``/broadcast pass; the original
+        per-block loop is retained as the scalar reference.
+        """
+        k = self.kind
+        if self.is_final or k in ("contig", "vector") or scalar_fallback():
+            return self._flatten_one_scalar()
+        if k == "blockindexed":
+            child = self.children[0]
+            block = (
+                child.flatten_full().tile(self.blocksize, child.extent).coalesce()
+            )
+            if not self.count or not block.count:
+                return Regions.empty()
+            offs = (self.offsets[:, None] + block.offsets[None, :]).reshape(-1)
+            lens = np.ascontiguousarray(
+                np.broadcast_to(
+                    block.lengths[None, :], (self.count, block.count)
+                )
+            ).reshape(-1)
+            return Regions(offs, lens, _trusted=True)
+        if k == "indexed":
+            child = self.children[0]
+            offs, lens = _tile_blocks(
+                self.offsets, self.blocksizes, child.extent, child.flatten_full()
+            )
+            return Regions(offs, lens, _trusted=True)
+        # struct: one broadcast when every field shares the same child
+        if self.children and all(c is self.children[0] for c in self.children):
+            ch = self.children[0]
+            offs, lens = _tile_blocks(
+                self.offsets, self.blocksizes, ch.extent, ch.flatten_full()
+            )
+            return Regions(offs, lens, _trusted=True)
+        return self._flatten_one_scalar()
+
+    def _block_run_table(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Uncoalesced per-block expansion of one instance (memoized).
+
+        For indexed/struct loops only: returns ``(offsets, lengths,
+        cum)`` where rows ``cum[j]:cum[j+1]`` are exactly the regions
+        the streaming walk emits for a fully covered block/field ``j``
+        (the child's coalesced flattening tiled across the block).
+        ``DataloopStream`` slices runs of whole blocks out of this
+        table instead of looping per block.
+        """
+        if self._run_table is None:
+            if self.kind == "indexed":
+                child = self.children[0]
+                flat = child.flatten_full()
+                offs, lens = _tile_blocks(
+                    self.offsets, self.blocksizes, child.extent, flat
+                )
+                counts = self.blocksizes * _I64(flat.count)
+            elif self.kind == "struct":
+                flats = [ch.flatten_full() for ch in self.children]
+                if self.children and all(
+                    c is self.children[0] for c in self.children
+                ):
+                    offs, lens = _tile_blocks(
+                        self.offsets,
+                        self.blocksizes,
+                        self.children[0].extent,
+                        flats[0],
+                    )
+                else:
+                    cat = Regions.concat(
+                        [
+                            flat.tile(int(bs), ch.extent).shift(int(off))
+                            for flat, bs, ch, off in zip(
+                                flats,
+                                self.blocksizes,
+                                self.children,
+                                self.offsets,
+                            )
+                        ]
+                    )
+                    offs, lens = cat.offsets, cat.lengths
+                counts = np.array(
+                    [
+                        int(bs) * flat.count
+                        for bs, flat in zip(self.blocksizes, flats)
+                    ],
+                    dtype=_I64,
+                )
+            else:
+                raise ValueError("run table requires an indexed/struct loop")
+            cum = np.empty(self.count + 1, dtype=_I64)
+            cum[0] = 0
+            if self.count:
+                np.cumsum(counts, out=cum[1:])
+            self._run_table = (offs, lens, cum)
+        return self._run_table
+
+    def _flatten_one_scalar(self) -> Regions:
         k = self.kind
         if self.is_final:
             if k == "contig":

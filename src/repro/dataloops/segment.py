@@ -22,13 +22,16 @@ Fully covered interior subtrees whose region count is at most
 flattening and then shifted per instance, which is both faster and
 identical in output.
 
-Runs of *whole* instances (and whole vector/blockindexed blocks) take a
-vectorized fast path: instead of one Python iteration per instance, the
-cached flattening is replicated with broadcast arithmetic
-(``tile``/``shift`` or an outer add against the block offsets) in
-chunks of up to ``max_regions`` regions.  The materialized region
-sequence is unchanged; only the internal batch boundaries may shift for
-windows larger than ``max_regions`` regions.
+Runs of *whole* instances (and whole vector/blockindexed/indexed/struct
+blocks) take a vectorized fast path: instead of one Python iteration
+per instance, the cached flattening is replicated with broadcast
+arithmetic (``tile``/``shift``, an outer add against the block offsets,
+or a slice of the loop's per-block run table) in chunks of up to
+``max_regions`` regions.  The materialized region sequence is
+unchanged; only the internal batch boundaries may shift for windows
+larger than ``max_regions`` regions.  ``REPRO_SCALAR_FALLBACK`` (see
+:mod:`repro.vectorize`) disables the run-table path for reference
+measurements.
 
 :meth:`DataloopStream.instance_aligned_batches` exposes the same
 expansion with batch boundaries aligned to whole top-level instances
@@ -43,6 +46,7 @@ from typing import Iterator
 import numpy as np
 
 from ..regions import Regions
+from ..vectorize import scalar_fallback
 from .loops import Dataloop
 
 __all__ = ["DataloopStream", "stream_regions"]
@@ -316,42 +320,61 @@ class DataloopStream:
                         rel1,
                     )
                     j += 1
-        elif k == "indexed":
-            child = loop.children[0]
+        elif k == "indexed" or k == "struct":
+            # indexed/struct share the cursor logic; only the per-block
+            # child differs.  Runs of fully covered blocks are sliced
+            # out of the loop's cached run table in one numpy step
+            # instead of one Python iteration (and one tile/shift)
+            # per block.
             cum = loop._block_stream_cum
             j0 = int(np.searchsorted(cum, s0, side="right")) - 1
             j0 = max(j0, 0)
             j1 = int(np.searchsorted(cum, s1, side="left"))
             j1 = min(j1, loop.count)
-            for j in range(j0, j1):
+            use_table = (
+                loop.region_count <= self.cache_threshold
+                and not scalar_fallback()
+            )
+            j = j0
+            while j < j1:
+                block_bytes = int(cum[j + 1] - cum[j])
                 rel0 = max(s0 - int(cum[j]), 0)
-                rel1 = min(s1 - int(cum[j]), int(cum[j + 1] - cum[j]))
-                yield from self._walk_instances(
-                    child,
-                    int(loop.blocksizes[j]),
-                    base + int(loop.offsets[j]),
-                    child.extent,
-                    rel0,
-                    rel1,
-                )
-        else:  # struct
-            cum = loop._block_stream_cum
-            j0 = int(np.searchsorted(cum, s0, side="right")) - 1
-            j0 = max(j0, 0)
-            j1 = int(np.searchsorted(cum, s1, side="left"))
-            j1 = min(j1, loop.count)
-            for j in range(j0, j1):
-                child = loop.children[j]
-                rel0 = max(s0 - int(cum[j]), 0)
-                rel1 = min(s1 - int(cum[j]), int(cum[j + 1] - cum[j]))
-                yield from self._walk_instances(
-                    child,
-                    int(loop.blocksizes[j]),
-                    base + int(loop.offsets[j]),
-                    child.extent,
-                    rel0,
-                    rel1,
-                )
+                rel1 = min(s1 - int(cum[j]), block_bytes)
+                if use_table and rel0 == 0 and rel1 == block_bytes:
+                    # maximal run of whole blocks [j, jw)
+                    jw = int(np.searchsorted(cum, s1, side="right")) - 1
+                    jw = max(min(jw, j1), j + 1)
+                    yield from self._table_run(loop, base, j, jw)
+                    j = jw
+                else:
+                    child = (
+                        loop.children[j] if k == "struct" else loop.children[0]
+                    )
+                    yield from self._walk_instances(
+                        child,
+                        int(loop.blocksizes[j]),
+                        base + int(loop.offsets[j]),
+                        child.extent,
+                        rel0,
+                        rel1,
+                    )
+                    j += 1
+
+    def _table_run(
+        self, loop: Dataloop, base: int, j: int, jw: int
+    ) -> Iterator[Regions]:
+        """Regions of fully covered indexed/struct blocks ``[j, jw)``.
+
+        Slices the loop's cached run table in ``max_regions`` chunks;
+        the region sequence matches the per-block walk exactly.
+        """
+        offs, lens, rcum = loop._block_run_table()
+        a, b = int(rcum[j]), int(rcum[jw])
+        for c0 in range(a, b, self.max_regions):
+            c1 = min(c0 + self.max_regions, b)
+            yield Regions(
+                offs[c0:c1] + _I64(base), lens[c0:c1], _trusted=True
+            )
 
     def _block_flat(self, loop: Dataloop, child: Dataloop) -> Regions | None:
         """Cached coalesced flattening of one whole vector/blockindexed

@@ -12,7 +12,10 @@ from typing import Sequence
 import numpy as np
 
 from ..regions import Regions
+from ..vectorize import scalar_fallback
 from .base import Datatype
+
+_I64 = np.int64
 
 __all__ = [
     "contiguous",
@@ -107,19 +110,39 @@ def _dense_block_regions(
 def _indexed_flatten(
     old: Datatype, disps_bytes: Sequence[int], bls: Sequence[int]
 ) -> Regions:
-    """Flatten blocks of ``old`` at byte displacements, traversal order."""
-    disps = np.asarray(disps_bytes, dtype=np.int64)
-    blsa = np.asarray(bls, dtype=np.int64)
+    """Flatten blocks of ``old`` at byte displacements, traversal order.
+
+    The general path anchors every ``old`` instance of every block with
+    one ``repeat``/``arange`` pass and outer-adds the instance anchors
+    against ``old``'s flattening — no per-block Python loop.  The loop
+    is retained as the scalar reference (``REPRO_SCALAR_FALLBACK``).
+    """
+    disps = np.asarray(disps_bytes, dtype=_I64)
+    blsa = np.asarray(bls, dtype=_I64)
     fast = _dense_block_regions(old, disps, blsa)
     if fast is not None:
         return fast.coalesce()
-    parts = []
     one = old.flatten()
-    for d, bl in zip(disps.tolist(), blsa.tolist()):
-        if bl == 0:
-            continue
-        parts.append(one.tile(bl, old.extent).shift(d))
-    return Regions.concat(parts).coalesce()
+    if scalar_fallback():
+        parts = []
+        for d, bl in zip(disps.tolist(), blsa.tolist()):
+            if bl == 0:
+                continue
+            parts.append(one.tile(bl, old.extent).shift(d))
+        return Regions.concat(parts).coalesce()
+    n_inst = int(blsa.sum()) if blsa.size else 0
+    r = one.count
+    if n_inst == 0 or r == 0:
+        return Regions.empty()
+    cum_excl = np.concatenate(([0], np.cumsum(blsa)[:-1]))
+    anchors = np.repeat(disps, blsa) + (
+        np.arange(n_inst, dtype=_I64) - np.repeat(cum_excl, blsa)
+    ) * _I64(old.extent)
+    offs = (anchors[:, None] + one.offsets[None, :]).reshape(-1)
+    lens = np.ascontiguousarray(
+        np.broadcast_to(one.lengths[None, :], (n_inst, r))
+    ).reshape(-1)
+    return Regions(offs, lens, _trusted=True).coalesce()
 
 
 # ----------------------------------------------------------------------
@@ -393,6 +416,16 @@ class StructType(Datatype):
         return ((n, *self.blocklengths), self.displacements, self.types)
 
     def _flatten_one(self) -> Regions:
+        # homogeneous structs (one shared field type) reduce to the
+        # indexed broadcast; heterogeneous ones tile per field
+        if (
+            self.types
+            and all(t is self.types[0] for t in self.types)
+            and not scalar_fallback()
+        ):
+            return _indexed_flatten(
+                self.types[0], self.displacements, self.blocklengths
+            )
         parts = []
         for d, bl, t in zip(self.displacements, self.blocklengths, self.types):
             if bl == 0 or t.size == 0:

@@ -10,6 +10,8 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
+from ..vectorize import scalar_fallback
+
 __all__ = ["Regions"]
 
 _I64 = np.int64
@@ -37,10 +39,12 @@ class Regions:
     objects (arrays may be shared when unchanged).
     """
 
-    __slots__ = ("offsets", "lengths", "_hash")
+    __slots__ = ("offsets", "lengths", "_hash", "_flat_idx", "_sd")
 
     def __init__(self, offsets, lengths, *, _trusted: bool = False):
         self._hash = None
+        self._flat_idx = None
+        self._sd = None
         if _trusted:
             self.offsets = offsets
             self.lengths = lengths
@@ -273,6 +277,79 @@ class Regions:
         spos = stream_starts[keep] + (starts[keep] - self.offsets[keep])
         return Regions(starts[keep], lens[keep], _trusted=True), spos
 
+    def _sorted_disjoint(self) -> bool:
+        """True when regions are sorted and pairwise non-overlapping.
+
+        Memoized; this is the precondition for the searchsorted-based
+        partition fast path below.
+        """
+        sd = self._sd
+        if sd is None:
+            if self.count < 2:
+                sd = True
+            else:
+                ends = self.offsets + self.lengths
+                sd = bool(np.all(self.offsets[1:] >= ends[:-1]))
+            self._sd = sd
+        return sd
+
+    def partition_with_stream(
+        self, bounds
+    ) -> list[tuple["Regions", np.ndarray]]:
+        """Clip against consecutive intervals in one pass.
+
+        ``bounds`` is a non-decreasing sequence of ``k + 1`` byte
+        positions; the result has one ``(regions, stream_pos)`` entry
+        per interval ``[bounds[i], bounds[i+1])``, each identical to
+        ``clip_with_stream(bounds[i], bounds[i+1])``.  When this set is
+        sorted and disjoint (the common case for file accesses), each
+        interval's regions are located with two ``searchsorted`` probes
+        over the precomputed end positions instead of an O(n) mask per
+        interval — total work O(n + k + output).  Falls back to
+        per-interval clipping otherwise (and in scalar mode).
+        """
+        bounds = _as_i64(bounds)
+        k = int(bounds.size) - 1
+        if k < 0:
+            return []
+        if (
+            scalar_fallback()
+            or not self.count
+            or not self._sorted_disjoint()
+        ):
+            return [
+                self.clip_with_stream(int(bounds[i]), int(bounds[i + 1]))
+                for i in range(k)
+            ]
+        ends = self.offsets + self.lengths
+        stream_starts = np.concatenate(
+            ([0], np.cumsum(self.lengths)[:-1])
+        ).astype(_I64, copy=False)
+        i0s = np.searchsorted(ends, bounds[:-1], side="right")
+        i1s = np.searchsorted(self.offsets, bounds[1:], side="left")
+        out: list[tuple[Regions, np.ndarray]] = []
+        empty = (Regions.empty(), np.empty(0, dtype=_I64))
+        for i in range(k):
+            lo = int(bounds[i])
+            hi = int(bounds[i + 1])
+            a, b = int(i0s[i]), int(i1s[i])
+            if hi <= lo or a >= b:
+                out.append(empty)
+                continue
+            offs = self.offsets[a:b].copy()
+            lens = self.lengths[a:b].copy()
+            spos = stream_starts[a:b].copy()
+            head = lo - int(offs[0])
+            if head > 0:
+                offs[0] += head
+                lens[0] -= head
+                spos[0] += head
+            tail = int(offs[-1]) + int(lens[-1]) - hi
+            if tail > 0:
+                lens[-1] -= tail
+            out.append((Regions(offs, lens, _trusted=True), spos))
+        return out
+
     def slice_stream(self, s0: int, s1: int) -> "Regions":
         """Regions covering packed-stream bytes ``[s0, s1)``.
 
@@ -407,11 +484,42 @@ class Regions:
         return Regions(run_offs, ends[last_idx] - run_offs, _trusted=True)
 
     def intersect(self, other: "Regions") -> "Regions":
-        """Set intersection (returns the canonical form)."""
+        """Set intersection (returns the canonical form).
+
+        Both sets are normalized first, so each is sorted and disjoint;
+        the overlap pairs are then found with two ``searchsorted``
+        passes and expanded with ``repeat``/``arange`` interval
+        arithmetic — a single vectorized sweep with no per-region
+        Python loop.
+        """
         a = self.normalized()
         b = other.normalized()
         if not a.count or not b.count:
             return Regions.empty()
+        if scalar_fallback():
+            return a._intersect_scalar(b)
+        a_starts = a.offsets
+        a_ends = a.offsets + a.lengths
+        b_starts = b.offsets
+        b_ends = b.offsets + b.lengths
+        # b-regions overlapping a-region i are exactly [lo[i], hi[i])
+        lo = np.searchsorted(b_ends, a_starts, side="right")
+        hi = np.searchsorted(b_starts, a_ends, side="left")
+        counts = hi - lo
+        total = int(counts.sum())
+        if total == 0:
+            return Regions.empty()
+        a_idx = np.repeat(np.arange(a.count, dtype=_I64), counts)
+        grp_start = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        b_idx = np.arange(total, dtype=_I64) - grp_start[a_idx] + lo[a_idx]
+        s = np.maximum(b_starts[b_idx], a_starts[a_idx])
+        e = np.minimum(b_ends[b_idx], a_ends[a_idx])
+        # every matched pair overlaps by >= 1 byte, so no filtering needed
+        return Regions(s, e - s, _trusted=True)
+
+    def _intersect_scalar(self, b: "Regions") -> "Regions":
+        """Reference intersection; operands must already be normalized."""
+        a = self
         out_o: list[np.ndarray] = []
         out_l: list[np.ndarray] = []
         b_starts = b.offsets
@@ -438,20 +546,30 @@ class Regions:
     # data movement
     # ------------------------------------------------------------------
     def _flat_index(self) -> np.ndarray:
-        """Element index array covering all regions in sequence order."""
+        """Element index array covering all regions in sequence order.
+
+        Memoized on the instance: gather followed by scatter on the
+        same region set (the pack→unpack round trip) reuses one array.
+        """
+        cached = self._flat_idx
+        if cached is not None:
+            return cached
         total = self.total_bytes
         if total == 0:
-            return np.empty(0, dtype=_I64)
-        ends = np.cumsum(self.lengths)
-        starts = ends - self.lengths
-        idx = np.ones(total, dtype=_I64)
-        idx[0] = self.offsets[0]
-        if self.count > 1:
-            # jump at each region boundary
-            idx[starts[1:]] = self.offsets[1:] - (
-                self.offsets[:-1] + self.lengths[:-1] - 1
-            )
-        return np.cumsum(idx)
+            idx = np.empty(0, dtype=_I64)
+        else:
+            ends = np.cumsum(self.lengths)
+            starts = ends - self.lengths
+            idx = np.ones(total, dtype=_I64)
+            idx[0] = self.offsets[0]
+            if self.count > 1:
+                # jump at each region boundary
+                idx[starts[1:]] = self.offsets[1:] - (
+                    self.offsets[:-1] + self.lengths[:-1] - 1
+                )
+            idx = np.cumsum(idx)
+        self._flat_idx = idx
+        return idx
 
     def gather(self, buf: np.ndarray) -> np.ndarray:
         """Extract the packed byte stream of these regions from ``buf``.

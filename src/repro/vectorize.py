@@ -1,0 +1,48 @@
+"""Scalar-fallback switch for the vectorized numpy core.
+
+Every vectorized hot path (dataloop streaming, datatype flattening,
+region set algebra, sieving/two-phase planning) retains its original
+per-region Python implementation as a *reference*.  Setting the
+``REPRO_SCALAR_FALLBACK`` environment variable (or calling
+:func:`set_scalar_fallback`) routes those paths through the reference
+code instead.  Both modes must produce byte-identical region sets and
+bit-identical simulated costs — only wall-clock time may differ; the
+``repro-bench hotpaths`` command measures exactly that gap.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+__all__ = ["scalar_fallback", "set_scalar_fallback", "scalar_mode"]
+
+
+def _env_truthy(val: str | None) -> bool:
+    return (val or "").strip().lower() not in ("", "0", "false", "no", "off")
+
+
+_scalar: bool = _env_truthy(os.environ.get("REPRO_SCALAR_FALLBACK"))
+
+
+def scalar_fallback() -> bool:
+    """True when hot paths must use the scalar reference implementations."""
+    return _scalar
+
+
+def set_scalar_fallback(on: bool) -> bool:
+    """Set the fallback flag; returns the previous value."""
+    global _scalar
+    prev = _scalar
+    _scalar = bool(on)
+    return prev
+
+
+@contextmanager
+def scalar_mode(on: bool = True):
+    """Temporarily force scalar (or vectorized) mode."""
+    prev = set_scalar_fallback(on)
+    try:
+        yield
+    finally:
+        set_scalar_fallback(prev)

@@ -89,6 +89,23 @@ SCALE_BASE = {
     },
 }
 
+HOTPATHS_BASE = {
+    "schema": 1,
+    "quick": True,
+    "paths": {
+        "regions_intersect": {
+            "speedup": 50.0,
+            "bit_identical": True,
+            "regions": 1000,
+            "bytes": 4000,
+            "scalar": {"wall_s": 0.5},
+            "vector": {"wall_s": 0.01},
+        }
+    },
+    "speedup": 50.0,
+    "bit_identical": True,
+}
+
 
 def test_identical_docs_pass():
     deltas = compare_pipeline_docs(PIPE_BASE, copy.deepcopy(PIPE_BASE))
@@ -271,15 +288,17 @@ def test_compare_against_dir_with_injected_docs(tmp_path):
     (tmp_path / "BENCH_dtype_cache.json").write_text(json.dumps(CACHE_BASE))
     (tmp_path / "BENCH_faults.json").write_text(json.dumps(FAULTS_BASE))
     (tmp_path / "BENCH_scale.json").write_text(json.dumps(SCALE_BASE))
+    (tmp_path / "BENCH_hotpaths.json").write_text(json.dumps(HOTPATHS_BASE))
     deltas, notes = compare_against_dir(
         tmp_path,
         pipeline_doc=copy.deepcopy(PIPE_BASE),
         dtype_cache_doc=copy.deepcopy(CACHE_BASE),
         faults_doc=copy.deepcopy(FAULTS_BASE),
         scale_doc=copy.deepcopy(SCALE_BASE),
+        hotpaths_doc=copy.deepcopy(HOTPATHS_BASE),
     )
     # a passing gate says what it checked: one line per file + a total
-    assert notes[-1] == "4 baseline file(s) checked"
+    assert notes[-1] == "5 baseline file(s) checked"
     assert all("field(s) diffed" in n for n in notes[:-1])
     assert not any(d.regression for d in deltas)
 
@@ -291,6 +310,7 @@ def test_compare_against_dir_with_injected_docs(tmp_path):
         dtype_cache_doc=copy.deepcopy(CACHE_BASE),
         faults_doc=copy.deepcopy(FAULTS_BASE),
         scale_doc=copy.deepcopy(SCALE_BASE),
+        hotpaths_doc=copy.deepcopy(HOTPATHS_BASE),
     )
     assert any(d.regression for d in deltas)
 
@@ -300,10 +320,11 @@ def test_compare_against_dir_skips_missing_files(tmp_path):
     deltas, notes = compare_against_dir(
         tmp_path, pipeline_doc=copy.deepcopy(PIPE_BASE)
     )
-    assert len(notes) == 5  # 1 diffed + 3 skipped + files-checked total
+    assert len(notes) == 6  # 1 diffed + 4 skipped + files-checked total
     assert any("BENCH_dtype_cache.json" in n for n in notes)
     assert any("BENCH_faults.json" in n for n in notes)
     assert any("BENCH_scale.json" in n for n in notes)
+    assert any("BENCH_hotpaths.json" in n for n in notes)
     assert notes[-1] == "1 baseline file(s) checked"
 
 
@@ -314,12 +335,14 @@ def test_update_baselines_writes_all_documents(tmp_path):
         dtype_cache_doc=copy.deepcopy(CACHE_BASE),
         faults_doc=copy.deepcopy(FAULTS_BASE),
         scale_doc=copy.deepcopy(SCALE_BASE),
+        hotpaths_doc=copy.deepcopy(HOTPATHS_BASE),
     )
     assert [p.name for p in written] == [
         "BENCH_pipeline.json",
         "BENCH_dtype_cache.json",
         "BENCH_faults.json",
         "BENCH_scale.json",
+        "BENCH_hotpaths.json",
     ]
     # the refreshed baselines must round-trip and gate clean against
     # the very documents they were refreshed from
@@ -330,8 +353,9 @@ def test_update_baselines_writes_all_documents(tmp_path):
         dtype_cache_doc=copy.deepcopy(CACHE_BASE),
         faults_doc=copy.deepcopy(FAULTS_BASE),
         scale_doc=copy.deepcopy(SCALE_BASE),
+        hotpaths_doc=copy.deepcopy(HOTPATHS_BASE),
     )
-    assert notes[-1] == "4 baseline file(s) checked"
+    assert notes[-1] == "5 baseline file(s) checked"
     assert not any(d.regression for d in deltas)
 
 
@@ -348,6 +372,7 @@ def test_cli_update_baseline_flag(tmp_path, capsys):
             dtype_cache_doc=copy.deepcopy(CACHE_BASE),
             faults_doc=copy.deepcopy(FAULTS_BASE),
             scale_doc=copy.deepcopy(SCALE_BASE),
+            hotpaths_doc=copy.deepcopy(HOTPATHS_BASE),
         )
 
     compare_mod.update_baselines = fake_update

@@ -1,0 +1,157 @@
+"""The ``repro-bench hotpaths`` benchmark and its compare wiring."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench.compare import (
+    compare_against_dir,
+    compare_hotpaths_docs,
+    update_baselines,
+)
+from repro.bench.hotpaths import (
+    PATHS,
+    collect,
+    render_hotpaths,
+    write_hotpaths_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return collect(quick=True, repeats=1)
+
+
+class TestCollect:
+    def test_schema_and_paths(self, doc):
+        assert doc["schema"] == 1
+        assert doc["quick"] is True
+        assert set(doc["paths"]) == set(PATHS)
+        for entry in doc["paths"].values():
+            assert entry["scalar"]["wall_s"] >= 0
+            assert entry["vector"]["wall_s"] >= 0
+            assert entry["speedup"] > 0
+
+    def test_bit_identical(self, doc):
+        assert doc["bit_identical"] is True
+        for name, entry in doc["paths"].items():
+            assert entry["bit_identical"], name
+
+    def test_deterministic_fields_hoisted(self, doc):
+        micro = doc["paths"]["regions_intersect"]
+        assert micro["regions"] == micro["scalar"]["regions"]
+        e2e = doc["paths"]["sieving_endtoend"]
+        for k in ("sim_s", "io_ops", "accessed_bytes", "resent_bytes"):
+            assert e2e[k] == e2e["scalar"][k]
+
+    def test_render(self, doc):
+        text = render_hotpaths(doc)
+        assert "aggregate" in text
+        assert "MISMATCH" not in text
+        for name in PATHS:
+            assert name in text
+
+    def test_write(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            "repro.bench.hotpaths.collect",
+            lambda quick=False, repeats=3: {"schema": 1, "paths": {}},
+        )
+        path, data = write_hotpaths_bench(tmp_path, quick=True)
+        assert path.name == "BENCH_hotpaths.json"
+        assert json.loads(path.read_text()) == data
+
+
+HOT_BASE = {
+    "schema": 1,
+    "quick": True,
+    "paths": {
+        "regions_intersect": {
+            "speedup": 50.0,
+            "bit_identical": True,
+            "regions": 1000,
+            "bytes": 4000,
+            "scalar": {"wall_s": 0.5},
+            "vector": {"wall_s": 0.01},
+        },
+        "sieving_endtoend": {
+            "speedup": 1.2,
+            "bit_identical": True,
+            "sim_s": 0.05,
+            "io_ops": 12,
+            "accessed_bytes": 8192,
+            "resent_bytes": 0,
+            "scalar": {"wall_s": 0.02},
+            "vector": {"wall_s": 0.016},
+        },
+    },
+    "speedup": 30.0,
+    "bit_identical": True,
+}
+
+
+class TestCompareHotpaths:
+    def test_identical_docs_pass(self):
+        deltas = compare_hotpaths_docs(HOT_BASE, copy.deepcopy(HOT_BASE))
+        assert deltas and not any(d.regression for d in deltas)
+
+    def test_wall_clock_ignored(self):
+        cur = copy.deepcopy(HOT_BASE)
+        cur["paths"]["regions_intersect"]["speedup"] = 0.1
+        cur["paths"]["regions_intersect"]["scalar"]["wall_s"] = 99.0
+        deltas = compare_hotpaths_docs(HOT_BASE, cur)
+        assert not any(d.regression for d in deltas)
+
+    def test_region_count_change_is_regression(self):
+        cur = copy.deepcopy(HOT_BASE)
+        cur["paths"]["regions_intersect"]["regions"] = 1200
+        deltas = compare_hotpaths_docs(HOT_BASE, cur)
+        assert any(
+            d.regression and d.metric == "regions" for d in deltas
+        )
+
+    def test_sim_elapsed_increase_is_regression(self):
+        cur = copy.deepcopy(HOT_BASE)
+        cur["paths"]["sieving_endtoend"]["sim_s"] = 0.08
+        deltas = compare_hotpaths_docs(HOT_BASE, cur)
+        assert any(d.regression and d.metric == "sim_s" for d in deltas)
+
+    def test_divergence_is_regression(self):
+        cur = copy.deepcopy(HOT_BASE)
+        cur["paths"]["regions_intersect"]["bit_identical"] = False
+        deltas = compare_hotpaths_docs(HOT_BASE, cur)
+        assert any(
+            d.regression and d.metric == "bit_identical" for d in deltas
+        )
+
+    def test_missing_path_is_regression(self):
+        cur = copy.deepcopy(HOT_BASE)
+        del cur["paths"]["sieving_endtoend"]
+        deltas = compare_hotpaths_docs(HOT_BASE, cur)
+        assert any(
+            d.regression and d.metric == "coverage" for d in deltas
+        )
+
+
+class TestCompareDirWiring:
+    def test_against_dir_uses_injected_doc(self, tmp_path):
+        (tmp_path / "BENCH_hotpaths.json").write_text(json.dumps(HOT_BASE))
+        deltas, notes = compare_against_dir(
+            tmp_path, hotpaths_doc=copy.deepcopy(HOT_BASE)
+        )
+        assert not any(d.regression for d in deltas)
+        assert any("BENCH_hotpaths.json" in n for n in notes)
+
+    def test_update_baselines_writes_hotpaths(self, tmp_path):
+        written = update_baselines(
+            tmp_path,
+            pipeline_doc={"benchmarks": {}},
+            dtype_cache_doc={"phases": {}},
+            faults_doc={"methods": {}},
+            scale_doc={"cells": []},
+            hotpaths_doc=copy.deepcopy(HOT_BASE),
+        )
+        names = [p.name for p in written]
+        assert "BENCH_hotpaths.json" in names
+        out = json.loads((tmp_path / "BENCH_hotpaths.json").read_text())
+        assert out == HOT_BASE

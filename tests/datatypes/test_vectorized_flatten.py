@@ -1,0 +1,91 @@
+"""Vectorized client-side flattening vs the scalar reference.
+
+The per-instance ``_flat_cache`` is cleared between modes so the scalar
+pass cannot simply return the vectorized pass's memoized result.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datatypes import BYTE, darray, hindexed, struct, vector
+from repro.datatypes.base import Datatype
+from repro.vectorize import scalar_mode
+
+from ..conftest import small_datatypes
+
+
+def _clear_flat_caches(t, seen=None):
+    if seen is None:
+        seen = set()
+    if id(t) in seen:
+        return
+    seen.add(id(t))
+    t._flat_cache = None
+    try:
+        children = t.contents()[2]
+    except ValueError:  # predefined named type: no children
+        return
+    for child in children:
+        if isinstance(child, Datatype):
+            _clear_flat_caches(child, seen)
+
+
+def _both_modes(t, count):
+    fast = t.flatten(count)
+    _clear_flat_caches(t)
+    with scalar_mode():
+        ref = t.flatten(count)
+    _clear_flat_caches(t)
+    return fast, ref
+
+
+class TestFlattenProperty:
+    @given(small_datatypes(), st.integers(1, 3))
+    @settings(max_examples=150, deadline=None)
+    def test_random_types_match_scalar(self, t, count):
+        fast, ref = _both_modes(t, count)
+        assert fast == ref
+
+
+class TestIndexedFlatten:
+    @given(st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_sparse_oldtype_matches_scalar(self, data):
+        """Non-dense oldtype forces the general broadcast path."""
+        n = data.draw(st.integers(1, 12))
+        old = vector(2, 1, 3, BYTE)
+        bls = [data.draw(st.integers(0, 3)) for _ in range(n)]
+        disps = sorted(data.draw(st.integers(0, 300)) for _ in range(n))
+        t = hindexed(bls, disps, old)
+        fast, ref = _both_modes(t, data.draw(st.integers(1, 2)))
+        assert fast == ref
+
+    def test_overlapping_blocks_match_scalar(self):
+        """Unsorted, overlapping displacements (legal in MPI)."""
+        old = vector(2, 1, 3, BYTE)
+        t = hindexed([2, 1, 2], [40, 0, 38], old)
+        fast, ref = _both_modes(t, 2)
+        assert fast == ref
+
+
+class TestStructFlatten:
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_homogeneous_fast_path_matches_scalar(self, data):
+        n = data.draw(st.integers(1, 10))
+        old = vector(2, 1, 3, BYTE)
+        bls = [data.draw(st.integers(0, 2)) for _ in range(n)]
+        disps = sorted(data.draw(st.integers(0, 200)) for _ in range(n))
+        t = struct(bls, disps, [old] * n)
+        fast, ref = _both_modes(t, 1)
+        assert fast == ref
+
+
+@pytest.mark.parametrize("dist", ["block", "cyclic"])
+@pytest.mark.parametrize("rank", [0, 2])
+def test_darray_matches_scalar(dist, rank):
+    old = vector(2, 1, 3, BYTE)
+    darg = 2 if dist == "cyclic" else -1
+    t = darray(4, rank, [97], [dist], [darg], [4], old)
+    fast, ref = _both_modes(t, 1)
+    assert fast == ref

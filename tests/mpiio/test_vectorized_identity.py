@@ -1,0 +1,81 @@
+"""Bit-identity of the vectorized core across the full method matrix.
+
+The tentpole acceptance bar of the hot-path vectorization: switching
+``REPRO_SCALAR_FALLBACK`` on may change wall-clock only — every
+simulated figure (elapsed, ops, bytes, per-stage server time, network
+totals) must agree to the last ULP for all five access methods under
+both scheduler configurations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import run_workload
+from repro.bench.workloads import FlashWorkload, TileWorkload
+from repro.mpiio.methods.sieving import _extent_chunks, _sieve_plan
+from repro.pvfs import PVFSConfig
+from repro.regions import Regions
+from repro.vectorize import scalar_mode
+
+from ..conftest import assert_bit_identical
+
+METHODS = ["posix", "data_sieving", "two_phase", "list_io", "datatype_io"]
+
+
+def _workload(name):
+    if name == "tile":
+        return TileWorkload.reduced(frames=1)
+    return FlashWorkload.reduced(2)
+
+
+@pytest.mark.parametrize("workload", ["tile", "flash"])
+@pytest.mark.parametrize("threads", [1, 4])
+@pytest.mark.parametrize("method", METHODS)
+def test_scalar_fallback_bit_identical(method, threads, workload):
+    def run():
+        return run_workload(
+            _workload(workload),
+            method,
+            phantom=True,
+            config=PVFSConfig(n_servers=4, server_threads=threads),
+        )
+
+    fast = run()
+    with scalar_mode():
+        ref = run()
+    assert fast.supported == ref.supported
+    if fast.supported:
+        assert_bit_identical(fast, ref)
+
+
+class TestSievePlan:
+    def _regions(self):
+        rng = np.random.default_rng(7)
+        offs = np.cumsum(rng.integers(10, 200, 40)) - 10
+        lens = rng.integers(1, 9, 40)
+        return Regions(offs, lens)
+
+    @pytest.mark.parametrize("bufsize", [64, 256, 1 << 20])
+    def test_matches_per_chunk_clip(self, bufsize):
+        regions = self._regions()
+        plan = _sieve_plan(regions, bufsize)
+        chunks = list(_extent_chunks(regions, bufsize))
+        assert [(lo, hi) for lo, hi, _, _ in plan] == chunks
+        for lo, hi, clipped, spos in plan:
+            want, want_pos = regions.clip_with_stream(lo, hi)
+            assert clipped == want
+            assert np.array_equal(spos, want_pos)
+
+    def test_empty_regions(self):
+        assert _sieve_plan(Regions.empty(), 256) == []
+
+    def test_scalar_mode_identical(self):
+        regions = self._regions()
+        fast = _sieve_plan(regions, 128)
+        with scalar_mode():
+            ref = _sieve_plan(self._regions(), 128)
+        assert len(fast) == len(ref)
+        for (l1, h1, c1, p1), (l2, h2, c2, p2) in zip(fast, ref):
+            assert (l1, h1) == (l2, h2)
+            assert c1 == c2
+            assert np.array_equal(p1, p2)

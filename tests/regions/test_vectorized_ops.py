@@ -1,0 +1,129 @@
+"""Vectorized region algebra vs the retained scalar reference.
+
+Every numpy fast path introduced for the hot-path vectorization keeps
+its original per-region Python implementation behind
+``REPRO_SCALAR_FALLBACK`` (:mod:`repro.vectorize`).  These properties
+pin the two byte-exact against each other over random region sets.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.regions import Regions
+from repro.vectorize import scalar_fallback, scalar_mode
+
+from ..conftest import region_lists, sorted_region_lists
+
+
+class TestIntersect:
+    @given(region_lists(), region_lists())
+    @settings(max_examples=150, deadline=None)
+    def test_vector_matches_scalar(self, pa, pb):
+        a = Regions.from_pairs(pa)
+        b = Regions.from_pairs(pb)
+        fast = a.intersect(b)
+        with scalar_mode():
+            ref = a.intersect(b)
+        assert fast == ref
+
+    @given(region_lists(), region_lists())
+    @settings(max_examples=80, deadline=None)
+    def test_matches_scalar_reference_directly(self, pa, pb):
+        a = Regions.from_pairs(pa).normalized()
+        b = Regions.from_pairs(pb).normalized()
+        assert a.intersect(b) == a._intersect_scalar(b)
+
+    def test_output_is_a_major_ordered(self):
+        a = Regions.from_pairs([(0, 10), (20, 10)])
+        b = Regions.from_pairs([(5, 3), (9, 1), (22, 4)])
+        out = a.intersect(b)
+        assert list(out.offsets) == [5, 9, 22]
+        assert list(out.lengths) == [3, 1, 4]
+
+
+class TestPartitionWithStream:
+    @given(sorted_region_lists(), st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_matches_clip_with_stream(self, pairs, data):
+        r = Regions.from_pairs(pairs)
+        lo, hi = r.extent() if r.count else (0, 100)
+        k = data.draw(st.integers(1, 6))
+        cuts = sorted(
+            data.draw(st.integers(lo - 5, hi + 5)) for _ in range(k + 1)
+        )
+        bounds = np.asarray(cuts, dtype=np.int64)
+        parts = r.partition_with_stream(bounds)
+        assert len(parts) == k
+        for i in range(k):
+            want, want_pos = r.clip_with_stream(
+                int(bounds[i]), int(bounds[i + 1])
+            )
+            got, got_pos = parts[i]
+            assert got == want
+            assert np.array_equal(got_pos, want_pos)
+
+    @given(region_lists(), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_unsorted_input_matches_clip(self, pairs, data):
+        """Overlapping/unsorted sets take the per-interval fallback."""
+        r = Regions.from_pairs(pairs)
+        lo, hi = r.extent() if r.count else (0, 100)
+        mid = data.draw(st.integers(lo, hi))
+        bounds = np.asarray([lo, mid, hi], dtype=np.int64)
+        for (got, got_pos), (a, b) in zip(
+            r.partition_with_stream(bounds), [(lo, mid), (mid, hi)]
+        ):
+            want, want_pos = r.clip_with_stream(a, b)
+            assert got == want
+            assert np.array_equal(got_pos, want_pos)
+
+    @given(sorted_region_lists())
+    @settings(max_examples=80, deadline=None)
+    def test_scalar_mode_identical(self, pairs):
+        r = Regions.from_pairs(pairs)
+        lo, hi = r.extent() if r.count else (0, 90)
+        bounds = np.linspace(lo, hi + 1, 5).astype(np.int64)
+        fast = r.partition_with_stream(bounds)
+        with scalar_mode():
+            ref = Regions.from_pairs(pairs).partition_with_stream(bounds)
+        assert len(fast) == len(ref)
+        for (fc, fp), (rc, rp) in zip(fast, ref):
+            assert fc == rc
+            assert np.array_equal(fp, rp)
+
+    def test_partition_covers_stream_exactly(self):
+        r = Regions.from_pairs([(0, 4), (10, 4), (20, 4)])
+        bounds = np.asarray([0, 12, 24], dtype=np.int64)
+        parts = r.partition_with_stream(bounds)
+        assert sum(c.total_bytes for c, _ in parts) == r.total_bytes
+        # stream positions are disjoint and ascending across intervals
+        allpos = np.concatenate([p for _, p in parts])
+        assert (np.diff(allpos) > 0).all()
+
+
+class TestMemoization:
+    def test_flat_index_reused(self):
+        r = Regions.from_pairs([(0, 4), (10, 4)])
+        assert r._flat_index() is r._flat_index()
+
+    def test_gather_scatter_roundtrip_after_memo(self):
+        r = Regions.from_pairs([(0, 4), (10, 4)])
+        buf = np.arange(20, dtype=np.uint8)
+        packed = r.gather(buf)
+        out = np.zeros(20, dtype=np.uint8)
+        r.scatter(out, packed)
+        assert np.array_equal(out[r._flat_index()], buf[r._flat_index()])
+
+
+class TestScalarModeKnob:
+    def test_context_manager_restores(self):
+        before = scalar_fallback()
+        with scalar_mode():
+            assert scalar_fallback()
+        assert scalar_fallback() == before
+
+    def test_nested(self):
+        with scalar_mode():
+            with scalar_mode(False):
+                assert not scalar_fallback()
+            assert scalar_fallback()
