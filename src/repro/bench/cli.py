@@ -236,6 +236,45 @@ def cmd_scale(args, out):
     print(f"[saved {path}]", file=sys.stderr)
 
 
+def cmd_collective(args, out):
+    """Sixth-method benchmark (BENCH_collective.json) / CI smoke gate."""
+    from .collectivecmd import (
+        QUICK_SPEC,
+        collect_smoke,
+        dominance_problems,
+        render_collective,
+        smoke_check,
+        write_collective_bench,
+    )
+
+    if args.smoke:
+        doc = collect_smoke()
+        problems = smoke_check(doc)
+        if problems:
+            for p in problems:
+                print(f"collective problem: {p}", file=sys.stderr)
+            raise SystemExit(f"{len(problems)} collective problem(s)")
+        top = max(doc["spec"]["clients"])
+        print(
+            f"[collective smoke OK: beats list I/O at {top} clients, "
+            "deterministic replay, O(servers) aggregated requests]",
+            file=sys.stderr,
+        )
+        if out is None:
+            return
+    path, doc = write_collective_bench(
+        out, spec=QUICK_SPEC if args.quick else None
+    )
+    print(render_collective(doc))
+    print(f"[saved {path}]", file=sys.stderr)
+    if not args.quick:
+        problems = dominance_problems(doc)
+        if problems:
+            for p in problems:
+                print(f"collective problem: {p}", file=sys.stderr)
+            raise SystemExit(f"{len(problems)} collective problem(s)")
+
+
 def cmd_compare(args, out):
     """Regression gate: fresh run vs checked-in BENCH_*.json baselines."""
     from .compare import (
@@ -339,6 +378,7 @@ COMMANDS = {
     "metrics": cmd_metrics,
     "faults": cmd_faults,
     "scale": cmd_scale,
+    "collective": cmd_collective,
     "compare": cmd_compare,
     "validate": cmd_validate,
     "table1": cmd_table1,
@@ -406,7 +446,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="trace/metrics/faults/scale: verify only (metrics also replays "
+        help="trace/metrics/faults/scale/collective: verify only (metrics "
+        "also replays "
         "with collection off and requires bit-identical timing; faults "
         "runs the chaos gate: heavy preset must recover, replay "
         "deterministically and keep traces/metrics reconciled; hotpaths "

@@ -7,7 +7,8 @@ Re-collects the machine-independent benchmark documents
 :func:`repro.bench.faultscmd.collect_faults_bench`,
 ``BENCH_scale.json`` via :func:`repro.bench.scalecmd
 .collect_scale_bench`, ``BENCH_hotpaths.json`` via
-:func:`repro.bench.hotpaths.collect`) and diffs them
+:func:`repro.bench.hotpaths.collect`, ``BENCH_collective.json`` via
+:func:`repro.bench.collectivecmd.collect_collective_bench`) and diffs them
 against the checked-in copies under ``results/``.  Every compared quantity is a
 *simulated* figure (bandwidth, simulated elapsed seconds, server stage
 busy time, cache hit rate), so the gate is deterministic: any change
@@ -33,6 +34,7 @@ from typing import Optional
 __all__ = [
     "DEFAULT_TOLERANCE",
     "Delta",
+    "compare_collective_docs",
     "compare_dtype_cache_docs",
     "compare_faults_docs",
     "compare_hotpaths_docs",
@@ -329,6 +331,73 @@ def compare_hotpaths_docs(
     return deltas
 
 
+def compare_collective_docs(
+    base: dict, cur: dict, tolerance: float = DEFAULT_TOLERANCE
+) -> list[Delta]:
+    """Diff two ``BENCH_collective.json`` documents (baseline, current).
+
+    Per top-cell figure: every method's bandwidth gates like the
+    pipeline numbers, and a dominance flag flipping from won to lost is
+    a regression in its own right — the sixth curve falling behind any
+    paper method at the highest client count is the acceptance bar
+    breaking, even if its absolute bandwidth moved less than the
+    tolerance.  The FLASH showcase gates the aggregation quality:
+    merged views or saved requests dropping, or the aggregated
+    data-path request count rising, beyond tolerance.
+    """
+    deltas: list[Delta] = []
+    for name, b in base.get("figures", {}).items():
+        source = f"collective/{name}"
+        c = cur.get("figures", {}).get(name)
+        if c is None:
+            deltas.append(
+                Delta(
+                    source, "coverage", None, None, 0.0,
+                    True, "figure missing from current run",
+                )
+            )
+            continue
+        for method, bv in b.get("mbps", {}).items():
+            if bv is None:
+                continue
+            cv = c.get("mbps", {}).get(method)
+            if cv is None:
+                deltas.append(
+                    Delta(
+                        f"{source}/{method}", "supported", 1.0, 0.0, -1.0,
+                        True, "was supported in baseline",
+                    )
+                )
+                continue
+            _diff(
+                deltas, f"{source}/{method}", "mbps", bv, cv,
+                tolerance, higher_is_better=True,
+            )
+        if base.get("dominance", {}).get(name) and not cur.get(
+            "dominance", {}
+        ).get(name):
+            deltas.append(
+                Delta(
+                    source, "dominance", 1.0, 0.0, -1.0,
+                    True, "collective_dtype no longer dominates",
+                )
+            )
+    bs, cs = base.get("flash_showcase"), cur.get("flash_showcase")
+    if bs and cs:
+        source = "collective/flash_showcase"
+        for metric, higher in (
+            ("views_merged", True),
+            ("requests_saved", True),
+            ("collective_requests", False),
+            ("collective_mbps", True),
+        ):
+            _diff(
+                deltas, source, metric, bs[metric], cs[metric],
+                tolerance, higher_is_better=higher,
+            )
+    return deltas
+
+
 def compare_against_dir(
     baseline_dir: pathlib.Path,
     tolerance: float = DEFAULT_TOLERANCE,
@@ -338,6 +407,7 @@ def compare_against_dir(
     faults_doc: Optional[dict] = None,
     scale_doc: Optional[dict] = None,
     hotpaths_doc: Optional[dict] = None,
+    collective_doc: Optional[dict] = None,
 ) -> tuple[list[Delta], list[str]]:
     """Re-collect fresh benchmark docs and diff against ``baseline_dir``.
 
@@ -432,6 +502,21 @@ def compare_against_dir(
     else:
         notes.append(f"skipped: {hot_path} not found")
 
+    coll_path = baseline_dir / "BENCH_collective.json"
+    if coll_path.exists():
+        found += 1
+        base = json.loads(coll_path.read_text())
+        if collective_doc is None:
+            from .collectivecmd import collect_collective_bench
+
+            # replay the exact scales the baseline was recorded with
+            collective_doc = collect_collective_bench(base.get("spec"))
+        new = compare_collective_docs(base, collective_doc, tolerance)
+        deltas.extend(new)
+        notes.append(f"{coll_path.name}: {len(new)} field(s) diffed")
+    else:
+        notes.append(f"skipped: {coll_path} not found")
+
     if not found:
         raise FileNotFoundError(
             f"no BENCH_*.json baselines under {baseline_dir}"
@@ -448,6 +533,7 @@ def update_baselines(
     faults_doc: Optional[dict] = None,
     scale_doc: Optional[dict] = None,
     hotpaths_doc: Optional[dict] = None,
+    collective_doc: Optional[dict] = None,
 ) -> list[pathlib.Path]:
     """Re-collect every benchmark document and overwrite the baselines.
 
@@ -501,6 +587,16 @@ def update_baselines(
         hotpaths_doc = collect()
     path = baseline_dir / "BENCH_hotpaths.json"
     path.write_text(json.dumps(hotpaths_doc, indent=2, sort_keys=True) + "\n")
+    written.append(path)
+
+    if collective_doc is None:
+        from .collectivecmd import collect_collective_bench
+
+        collective_doc = collect_collective_bench()
+    path = baseline_dir / "BENCH_collective.json"
+    path.write_text(
+        json.dumps(collective_doc, indent=2, sort_keys=True) + "\n"
+    )
     written.append(path)
     return written
 

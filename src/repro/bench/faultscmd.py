@@ -30,7 +30,7 @@ from typing import Optional, Sequence
 
 from ..faults import SEVERITY_LEVELS, severity_config
 from ..pvfs import PVFSConfig
-from .characteristics import METHOD_ORDER
+from .characteristics import INDEPENDENT_METHODS
 from .runner import RunResult, run_workload
 from .workloads import TileWorkload
 
@@ -75,7 +75,7 @@ def run_faulted(
 
 
 def collect_faults_bench(
-    methods: Sequence[str] = METHOD_ORDER,
+    methods: Sequence[str] = INDEPENDENT_METHODS,
     *,
     seed: int = SWEEP_SEED,
 ) -> dict:
@@ -121,7 +121,7 @@ def collect_faults_bench(
 
 def write_faults_bench(
     out_dir: Optional[pathlib.Path] = None,
-    methods: Sequence[str] = METHOD_ORDER,
+    methods: Sequence[str] = INDEPENDENT_METHODS,
     *,
     seed: int = SWEEP_SEED,
 ) -> tuple[pathlib.Path, dict]:

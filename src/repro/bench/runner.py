@@ -9,6 +9,7 @@ import numpy as np
 
 from ..metrics import MetricsHub
 from ..mpiio import File, Hints, MPIIOCounters, SimMPI
+from ..mpiio.adio import get_method
 from ..pvfs import PVFS, PVFSConfig
 from ..pvfs.errors import LockUnsupported
 from ..simulation import CostModel, Environment, summarize_network
@@ -115,7 +116,7 @@ def run_workload(
         tenant_of=tenant_of,
     )
     hints = hints or Hints()
-    collective = method == "two_phase"
+    collective = get_method(method).collective
 
     start_times: list[float] = []
     rank_times: dict[int, tuple[float, float]] = {}

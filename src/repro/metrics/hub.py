@@ -101,6 +101,10 @@ class MetricsHub:
         self._c_fault_stall = None
         self._c_timeouts = None
         self._c_failovers = None
+        # collective datatype I/O instruments, created lazily so runs
+        # without collectives export no repro_collective_* families
+        self._c_coll_views = None
+        self._c_coll_saved = None
         # multi-tenant instruments, created lazily per tenant so a
         # single-tenant run exports no repro_tenant_* families at all
         self._tenant_names: Optional[list[str]] = None
@@ -276,6 +280,22 @@ class MetricsHub:
             self._c_failovers = c
         c.inc()
 
+    def collective(self, views_merged: int, requests_saved: int) -> None:
+        """Account one collective datatype operation (rank 0 reports)."""
+        if self._c_coll_views is None:
+            self._c_coll_views = self.registry.counter(
+                "repro_collective_views_merged",
+                "Per-rank file views deduplicated by fingerprint at the "
+                "collective aggregators",
+            )
+            self._c_coll_saved = self.registry.counter(
+                "repro_collective_requests_saved",
+                "Data-path requests avoided vs the independent datatype "
+                "path (one per rank per touched server)",
+            )
+        self._c_coll_views.inc(views_merged)
+        self._c_coll_saved.inc(requests_saved)
+
     # ------------------------------------------------------------------
     # periodic sampling (engine clock hook)
     # ------------------------------------------------------------------
@@ -423,6 +443,9 @@ class NullMetrics:
         pass
 
     def failover(self) -> None:
+        pass
+
+    def collective(self, views_merged, requests_saved) -> None:
         pass
 
     def on_clock(self, prev_now, next_t) -> None:

@@ -127,6 +127,15 @@ class Comm:
         n = max(self.size, 2)
         return math.ceil(math.log2(n)) * self.mpi.costs.mpi_latency
 
+    def epoch(self, key: str = "ag") -> int:
+        """Number of ``key``-collectives this rank has entered so far.
+
+        Every rank calls collectives in the same order (SPMD), so the
+        value is identical across ranks *before* the matching collective
+        — a free world-unique id for the upcoming invocation.
+        """
+        return self._coll_seq.get(key, 0)
+
     def allgather(self, value: Any, nbytes: int = 16, key: str = "ag"):
         """Gather a small value from every rank; returns rank-ordered list.
 

@@ -39,12 +39,26 @@ class Hints:
     #: — the §5 suggestion of "leveraging datatype I/O underneath
     #: two-phase I/O".
     tp_sparse_method: str = "rmw"
+    #: Collective datatype I/O: bytes of each rank's packed stream per
+    #: pipelined round.  Each (server, round) pair costs one aggregated
+    #: request, so smaller rounds trade request overhead for overlap of
+    #: disk service with data reception.  2 MiB measures best on the
+    #: paper-scale Block3D/FLASH sweeps (fewer segment headers than
+    #: 1 MiB while the drain cascade keeps the tail short).
+    coll_round_bytes: int = 2 * 1024 * 1024
+    #: Collective datatype I/O: target size of the final "drain" round.
+    #: A small last round keeps the tail — the service time after the
+    #: last byte arrives — short, which is where the collective beats
+    #: the independent methods at high client counts.
+    coll_drain_bytes: int = 64 * 1024
 
     def __post_init__(self):
         for field in (
             "cb_buffer_size",
             "ind_rd_buffer_size",
             "ind_wr_buffer_size",
+            "coll_round_bytes",
+            "coll_drain_bytes",
         ):
             if getattr(self, field) <= 0:
                 raise ValueError(f"{field} must be positive")

@@ -1,5 +1,12 @@
 """Built-in access methods (imported for registration side effects)."""
 
-from . import posix, sieving, listio, dtype, twophase  # noqa: F401
+from . import (  # noqa: F401
+    posix,
+    sieving,
+    listio,
+    dtype,
+    twophase,
+    collective,
+)
 
-__all__ = ["posix", "sieving", "listio", "dtype", "twophase"]
+__all__ = ["posix", "sieving", "listio", "dtype", "twophase", "collective"]

@@ -25,6 +25,7 @@ sum of the individual operations — see DESIGN.md §5.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Optional, Sequence, TYPE_CHECKING
 
@@ -39,6 +40,7 @@ from .protocol import (
     OP_CONTIG,
     OP_DTYPE,
     OP_LIST,
+    CollSegment,
     DataloopWindow,
     IORequest,
     IOResponse,
@@ -50,6 +52,15 @@ if TYPE_CHECKING:  # pragma: no cover
     from .system import PVFS
 
 __all__ = ["PVFSClient", "FileHandle", "ClientCounters"]
+
+#: In-flight collective data segments per (rank, server) socket.  1 is
+#: a blocking socket (NICs idle at every handoff, and one slow server
+#: stalls the rank's sequential send loop); large values degenerate to
+#: an unpaced blast whose wire order no longer tracks the round order
+#: (an early-starting rank would park entire later rounds ahead of a
+#: late rank's round 0, stalling the round pipeline).  Two keeps every
+#: server's pipe full while bounding the order skew to one round.
+COLL_SEND_WINDOW = 2
 
 
 @dataclass
@@ -142,6 +153,12 @@ class PVFSClient:
         # responses that arrived while another operation was waiting
         # (concurrent nonblocking operations share this mailbox)
         self._resp_stash: dict[int, object] = {}
+        # collective data segments that surfaced while some other wait
+        # held the mailbox, keyed (coll_id, server, round)
+        self._coll_stash: dict[tuple, CollSegment] = {}
+        # per-server completion times of in-flight collective segments
+        # (the sliding send windows of coll_send_segment)
+        self._coll_inflight: dict[int, deque[float]] = {}
         # request ids already answered — late or duplicated responses
         # (fault injection) are discarded instead of stashed
         self._done_reqs: set[int] = set()
@@ -212,6 +229,10 @@ class PVFSClient:
                     continue
                 yield env.timeout(costs.per_message_cpu)
                 resp = msg.payload
+                if isinstance(resp, CollSegment):
+                    key = (resp.coll_id, resp.server, resp.round_no)
+                    self._coll_stash[key] = resp
+                    continue
                 rid = getattr(resp, "req_id", None)
                 if rid == req_id:
                     return resp
@@ -255,6 +276,10 @@ class PVFSClient:
                     continue
                 yield env.timeout(costs.per_message_cpu)
                 resp = msg.payload
+                if isinstance(resp, CollSegment):
+                    key = (resp.coll_id, resp.server, resp.round_no)
+                    self._coll_stash[key] = resp
+                    continue
                 rid = getattr(resp, "req_id", None)
                 if rid == req_id:
                     return resp
@@ -695,48 +720,15 @@ class PVFSClient:
 
         # dataloop (re)conversion at every operation, as in the
         # prototype — unless datatype caching (§5) remembers this loop
-        cache_on = cfg.datatype_cache
-        if cache_on and id(loop) in self._converted_loops:
-            yield env.timeout(2e-6)  # cache lookup
-        else:
-            yield env.timeout(
-                costs.dataloop_convert_base
-                + loop.node_count() * costs.dataloop_node_cost
-            )
-            if cache_on:
-                self._converted_loops.add(id(loop))
+        yield from self.charge_convert(loop)
 
         # client-side expansion into job/access structures (cached per
         # (loop, window) when datatype caching is on; the tile reader's
         # per-frame operations differ only by displacement)
-        exp_key = (id(loop), first, last)
-        cached_regions = (
-            self._expansion_cache.get(exp_key) if cache_on else None
-        )
-        if cached_regions is not None:
-            regions = cached_regions.shift(displacement)
-            yield env.timeout(2e-6)
-        else:
-            regions = DataloopStream(
-                loop,
-                count=window.tile_count(),
-                base_offset=0,
-                first=first,
-                last=last,
-                max_regions=cfg.dataloop_batch_regions,
-            ).regions()
-            factor = (
-                costs.direct_region_factor if cfg.direct_dataloop else 1.0
-            )
-            if regions.count:
-                yield env.timeout(
-                    regions.count * costs.client_region_cost * factor
-                )
-            if cache_on:
-                self._expansion_cache[exp_key] = regions
-            regions = regions.shift(displacement)
+        regions = yield from self.expand_view(loop, displacement, first, last)
         yield env.timeout(costs.fs_op_client_cost)
 
+        cache_on = cfg.datatype_cache
         jobs = build_jobs(self.name, fh.handle, is_write, regions, fh.dist)
         out = (
             None
@@ -794,6 +786,223 @@ class PVFSClient:
         if op_span is not None:
             tracer.end(op_span)
         return out
+
+    # ------------------------------------------------------------------
+    # datatype-side primitives (shared by the independent datatype path
+    # and the collective datatype driver)
+    # ------------------------------------------------------------------
+    def charge_convert(self, loop: Dataloop):
+        """Charge one dataloop conversion (datatype-cache aware)."""
+        env = self.system.env
+        costs = self.system.costs
+        cache_on = self.system.config.datatype_cache
+        if cache_on and id(loop) in self._converted_loops:
+            yield env.timeout(2e-6)  # cache lookup
+        else:
+            yield env.timeout(
+                costs.dataloop_convert_base
+                + loop.node_count() * costs.dataloop_node_cost
+            )
+            if cache_on:
+                self._converted_loops.add(id(loop))
+
+    def expand_view(self, loop: Dataloop, displacement, first, last):
+        """Expand a file view window into logical file regions, charging
+        the per-region client construction cost (cached per
+        (loop, window) when datatype caching is on)."""
+        env = self.system.env
+        costs = self.system.costs
+        cfg = self.system.config
+        cache_on = cfg.datatype_cache
+        exp_key = (id(loop), first, last)
+        cached_regions = (
+            self._expansion_cache.get(exp_key) if cache_on else None
+        )
+        if cached_regions is not None:
+            regions = cached_regions.shift(displacement)
+            yield env.timeout(2e-6)
+            return regions
+        window = DataloopWindow(loop, displacement, first, last)
+        regions = DataloopStream(
+            loop,
+            count=window.tile_count(),
+            base_offset=0,
+            first=first,
+            last=last,
+            max_regions=cfg.dataloop_batch_regions,
+        ).regions()
+        factor = (
+            costs.direct_region_factor if cfg.direct_dataloop else 1.0
+        )
+        if regions.count:
+            yield env.timeout(
+                regions.count * costs.client_region_cost * factor
+            )
+        if cache_on:
+            self._expansion_cache[exp_key] = regions
+        return regions.shift(displacement)
+
+    # ------------------------------------------------------------------
+    # collective datatype I/O primitives
+    # ------------------------------------------------------------------
+    def coll_send_segment(self, server: int, seg: CollSegment):
+        """Ship one collective data segment straight to a server.
+
+        Segments are data-path messages: a fixed header plus the round
+        slice of this rank's packed stream.  They are not individually
+        retried (the aggregated request is the control path), so they
+        stay outside the fault injector's drop set.  Flow control is a
+        sliding window of :data:`COLL_SEND_WINDOW` in-flight segments
+        *per server socket*: an unpaced blast would order the whole
+        run's bytes by send-initiation time (letting an early-starting
+        rank park entire later rounds ahead of a late rank's round 0,
+        stalling the round pipeline), while fully paced sends leave
+        NICs idle at every segment handoff.  Per-server windows keep
+        the wire order at each server tracking the round order without
+        coupling independent sockets — one momentarily-backlogged
+        server never starves the rest of the stripe.
+        """
+        costs = self.system.costs
+        env = self.system.env
+        window = self._coll_inflight.setdefault(server, deque())
+        while len(window) >= COLL_SEND_WINDOW:
+            t = window.popleft()
+            if t > env.now:
+                yield env.timeout(t - env.now)
+        self.counters.request_desc_bytes += costs.header_bytes
+        end = yield from self.system.net.send(
+            self.mailbox,
+            self.system.servers[server].mailbox,
+            seg.wire_bytes(costs),
+            payload=seg,
+            pace=False,
+            faultable=False,
+        )
+        window.append(end)
+
+    def coll_collect(self, coll_id: tuple, expected):
+        """Receive this rank's data segments of a collective read.
+
+        ``expected`` is an iterable of ``(server, round)`` pairs; the
+        matching segments are returned as a dict keyed by those pairs.
+        Unrelated traffic surfacing on the mailbox (responses for the
+        aggregator role, other collectives' segments) is stashed for
+        its own waiter, mirroring :meth:`_await_response`.
+        """
+        env = self.system.env
+        costs = self.system.costs
+        want = {(coll_id, s, r) for (s, r) in expected}
+        got: dict[tuple, CollSegment] = {}
+        for key in list(want):
+            seg = self._coll_stash.pop(key, None)
+            if seg is not None:
+                got[key[1:]] = seg
+                want.discard(key)
+        held: list[_TimeoutMarker] = []
+        try:
+            while want:
+                msg = yield self.mailbox.get()
+                if isinstance(msg, _TimeoutMarker):
+                    if msg.live:
+                        held.append(msg)
+                    continue
+                yield env.timeout(costs.per_message_cpu)
+                resp = msg.payload
+                if isinstance(resp, CollSegment):
+                    key = (resp.coll_id, resp.server, resp.round_no)
+                    if key in want:
+                        got[key[1:]] = resp
+                        want.discard(key)
+                    else:
+                        self._coll_stash[key] = resp
+                    continue
+                rid = getattr(resp, "req_id", None)
+                if rid not in self._done_reqs:
+                    self._resp_stash[rid] = resp
+        finally:
+            for m in held:
+                if m.live:
+                    self.mailbox._store.put(m)
+        return got
+
+    def coll_post(self, requests: Sequence[IORequest], span=None):
+        """Send aggregated collective requests without awaiting replies.
+
+        The aggregator role posts its control requests *before*
+        streaming its own data segments — awaiting inline (as
+        :meth:`_io_round` does) would deadlock: every round needs this
+        rank's segments to complete.  Returns the bookkeeping that
+        :meth:`coll_finish` needs to collect the responses later.
+        """
+        env = self.system.env
+        tracer = self.system.tracer
+        metrics = self.system.metrics
+        t_sent: dict[int, float] = {}
+        rpc_spans: dict[int, object] = {}
+        if tracer.enabled and span is not None:
+            for req in requests:
+                rpc = tracer.begin(
+                    "rpc",
+                    "client",
+                    self.name,
+                    trace_id=span.trace_id,
+                    parent=span,
+                    server=req.server,
+                    op_kind=req.op_kind,
+                    desc_bytes=req.descriptor_bytes(self.system.costs),
+                )
+                req.trace_id = span.trace_id
+                req.trace_parent = rpc.span_id
+                rpc_spans[req.req_id] = rpc
+        for req in requests:
+            if metrics.enabled:
+                t_sent[req.req_id] = env.now
+            yield from self._send_io(req)
+        return t_sent, rpc_spans
+
+    def coll_finish(self, requests: Sequence[IORequest], posted):
+        """Collect one response per request posted by :meth:`coll_post`.
+
+        Mirrors the response half of :meth:`_io_round`, including the
+        reject/backoff/resend loop of the bounded-admission server
+        (segments already ingested survive a rejection, and the server's
+        done-ring deduplicates a resend of an already-applied round).
+        """
+        t_sent, rpc_spans = posted
+        env = self.system.env
+        cfg = self.system.config
+        tracer = self.system.tracer
+        metrics = self.system.metrics
+        responses: dict[int, IOResponse] = {}
+        for req in requests:
+            rpc = rpc_spans.get(req.req_id)
+            while True:
+                resp: IOResponse = yield from self._await_response(
+                    req.req_id
+                )
+                if resp.rejected:
+                    self.counters.retries += 1
+                    if metrics.enabled:
+                        metrics.retry()
+                    if rpc is not None:
+                        rpc.attrs["retries"] = rpc.attrs.get("retries", 0) + 1
+                    if cfg.server_retry_backoff > 0:
+                        yield env.timeout(cfg.server_retry_backoff)
+                    yield from self._send_io(req)
+                    continue
+                if resp.error:
+                    if rpc is not None:
+                        tracer.end(rpc, error=resp.error)
+                    raise PVFSError(resp.error)
+                responses[resp.req_id] = resp
+                if metrics.enabled:
+                    metrics.observe_rpc(
+                        env.now - t_sent[req.req_id], req.op_kind
+                    )
+                if rpc is not None:
+                    tracer.end(rpc, nbytes=resp.nbytes)
+                break
+        return responses
 
     def _io_round(self, requests, span=None):
         """Send all requests, then collect every response.

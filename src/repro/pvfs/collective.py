@@ -1,0 +1,126 @@
+"""Server-side assembly state for collective datatype I/O.
+
+A collective write round reaches a server as one aggregated
+:class:`~repro.pvfs.protocol.IORequest` (control path, from the
+aggregator) plus one :class:`~repro.pvfs.protocol.CollSegment` per
+participating rank (data path, straight from each rank).  Control and
+data race freely on the wire, so the daemon parks whichever side
+arrives first: :class:`CollectiveState` keys both on
+``(coll_id, round_no)`` and releases the request to the scheduler the
+moment the round's last expected segment is in.
+
+Completed rounds are retained briefly (``keep_done``) so an idempotent
+resend of the request — after an admission rejection or a fault-layer
+drop — still finds its payload.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .protocol import CollOp, CollSegment
+
+__all__ = ["CollectiveState"]
+
+
+class _Round:
+    __slots__ = ("segments", "msg", "expected")
+
+    def __init__(self):
+        self.segments: dict[str, "CollSegment"] = {}
+        self.msg = None  # parked request message, if any
+        self.expected: Optional[frozenset] = None
+
+
+class CollectiveState:
+    """Per-server bookkeeping for in-flight collective rounds."""
+
+    def __init__(self, keep_done: int = 4):
+        self._rounds: dict[tuple, _Round] = {}
+        self._done: deque = deque()
+        self.keep_done = keep_done
+
+    def _round(self, key: tuple) -> _Round:
+        e = self._rounds.get(key)
+        if e is None:
+            e = self._rounds[key] = _Round()
+        return e
+
+    @staticmethod
+    def _complete(e: _Round) -> bool:
+        return e.expected is not None and e.expected <= e.segments.keys()
+
+    # ------------------------------------------------------------------
+    def ingest_segment(self, seg: "CollSegment"):
+        """File one rank's data segment.
+
+        Returns the parked request *message* when this segment completes
+        a waiting round (the caller submits it), else ``None``.
+        """
+        e = self._round((seg.coll_id, seg.round_no))
+        e.segments[seg.client] = seg
+        if e.msg is not None and self._complete(e):
+            msg, e.msg = e.msg, None
+            return msg
+        return None
+
+    def park(self, msg, req) -> bool:
+        """Try to park a collective write request until its data is in.
+
+        Returns ``True`` when parked; ``False`` when every expected
+        segment has already arrived (submit immediately).
+        """
+        c: "CollOp" = req.coll
+        key = (c.coll_id, c.round_no)
+        for done_key, done_e in self._done:
+            if done_key == key:
+                return False  # idempotent resend of a completed round
+        e = self._round(key)
+        e.expected = frozenset(p.client for p in c.parts)
+        if self._complete(e):
+            return False
+        e.msg = msg
+        return True
+
+    # ------------------------------------------------------------------
+    def _lookup(self, key: tuple) -> Optional[_Round]:
+        e = self._rounds.get(key)
+        if e is not None:
+            return e
+        for done_key, done_e in self._done:
+            if done_key == key:
+                return done_e
+        return None
+
+    def assemble_payload(self, c: "CollOp") -> Optional[np.ndarray]:
+        """Concatenate the round's segment payloads in participant
+        order (``None`` when the round is phantom)."""
+        e = self._lookup((c.coll_id, c.round_no))
+        if e is None:
+            raise KeyError(
+                f"no assembled segments for collective round {c.coll_id}"
+                f"#{c.round_no}"
+            )
+        payloads = []
+        for part in c.parts:
+            seg = e.segments[part.client]
+            if seg.payload is None:
+                return None  # phantom round: account sizes only
+            payloads.append(seg.payload)
+        if len(payloads) == 1:
+            return payloads[0]
+        return np.concatenate(payloads)
+
+    def retire(self, coll_id: tuple, round_no: int) -> None:
+        """Move a served write round to the bounded done-ring."""
+        key = (coll_id, round_no)
+        e = self._rounds.pop(key, None)
+        if e is None:
+            return
+        self._done.append((key, e))
+        while len(self._done) > self.keep_done:
+            self._done.popleft()

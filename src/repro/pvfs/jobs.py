@@ -44,6 +44,11 @@ class ServerPlan:
     cache_cost: float = 0.0
     #: The expansion cache satisfied (part of) the plan stage.
     cache_hit: bool = False
+    #: Optional coalesced region list for the *disk arm* when it differs
+    #: from the data-movement order (collective requests union many
+    #: ranks' regions: data moves per rank, the arm sweeps the merged
+    #: extent).  ``None`` means the storage stage uses ``regions``.
+    disk_regions: Regions | None = None
 
 
 class Job:

@@ -40,14 +40,25 @@ Both schedulers record per-stage times into the server's
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import replace
 from typing import TYPE_CHECKING
 
+from ..regions import Regions
 from ..simulation.resources import Resource
 from .distribution import ServerSplit
 from .errors import ProtocolError
 from .expand_cache import expand_window
 from .jobs import ServerPlan
-from .protocol import OP_CONTIG, OP_DTYPE, OP_LIST, IORequest, IOResponse
+from .protocol import (
+    OP_COLL,
+    OP_CONTIG,
+    OP_DTYPE,
+    OP_LIST,
+    CollSegment,
+    DataloopWindow,
+    IORequest,
+    IOResponse,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from .server import IOServer
@@ -58,6 +69,8 @@ __all__ = [
     "ListIOHandler",
     "DatatypeHandler",
     "DirectDataloopHandler",
+    "CollectiveHandler",
+    "preplan_collective",
     "HANDLER_REGISTRY",
     "register_handler",
     "resolve_handler",
@@ -239,9 +252,211 @@ class DirectDataloopHandler(DatatypeHandler):
         return scanned * costs.server_region_scan_cost
 
 
+@register_handler
+class CollectiveHandler(RequestHandler):
+    """Collective datatype I/O: one aggregated request per (server,
+    round) carrying the deduplicated views and every participating
+    rank's round window.
+
+    The server re-expands each participant's dataloop over its round
+    window — through the expansion cache, so FLASH-style identical
+    views collapse to one expansion plus cheap hits — and *coalesces*
+    the union into one merged extent list: the job/access structures
+    (and the disk arm's sweep) are built per merged extent, while data
+    still moves per rank so each participant's bytes stay in its own
+    packed-stream order.  Write payloads arrive out-of-band as
+    :class:`~repro.pvfs.protocol.CollSegment` messages (the server
+    parks the request until the round's segments are in); read results
+    are scattered back to the ranks by :meth:`finish`.
+    """
+
+    registry_key = OP_COLL
+
+    def decode(self, server: "IOServer", req: IORequest) -> float:
+        if req.preplanned is not None:
+            # decode was already charged when the parked round was
+            # pre-planned (preplan_collective)
+            return 0.0
+        return super().decode(server, req)
+
+    def plan(self, server: "IOServer", req: IORequest) -> ServerPlan:
+        pre = req.preplanned
+        if pre is not None:
+            # the construction work was charged while the round's data
+            # was still arriving; only payload assembly remains.  The
+            # clone keeps the real built/scanned counters (recorded
+            # once, here) but zero CPU cost.
+            req.preplanned = None
+            plan = replace(
+                pre, proc_cost=0.0, cache_cost=0.0, cache_hit=False
+            )
+        else:
+            plan = self.build_plan(server, req)
+        if req.is_write:
+            req.payload = server.coll.assemble_payload(req.coll)
+        return plan
+
+    def build_plan(self, server: "IOServer", req: IORequest) -> ServerPlan:
+        """The construction work of the plan stage, payload assembly
+        excluded — callable before the round's data has arrived."""
+        costs = server.system.costs
+        cfg = server.system.config
+        c = req.coll
+        meta = server.system.metadata.lookup(req.handle)
+        dist = meta.dist
+        cache = server.expand_cache
+        batch = cfg.dataloop_batch_regions
+        splits = []
+        scanned = 0
+        hit = False
+        cache_cost = 0.0
+        for part in c.parts:
+            win = DataloopWindow(
+                c.views[part.view], part.displacement, part.first, part.last
+            )
+            if cache is not None:
+                split, n, h = cache.expand(win, dist, server.index, batch)
+                if h:
+                    hit = True
+                    cache_cost += costs.server_cache_hit_cost
+            else:
+                split, n = expand_window(
+                    win.loop,
+                    win.tile_count(),
+                    win.displacement,
+                    win.first,
+                    win.last,
+                    dist,
+                    server.index,
+                    batch,
+                )
+            splits.append(split)
+            scanned += n
+        # data order: each rank's regions stay contiguous and in its own
+        # stream order (payload/scatter correctness) ...
+        regions = Regions.concat([s.regions for s in splits])
+        # ... while the job/access structures and the disk arm work on
+        # the merged extent list (adjacent ranks' blocks coalesce)
+        merged = regions.normalized()
+        built = merged.count
+        per_region = (
+            costs.server_region_write_cost
+            if req.is_write
+            else costs.server_region_read_cost
+        )
+        proc = (
+            scanned * costs.server_region_scan_cost
+            # one vectorized merge pass over the per-rank region union
+            + regions.count * costs.server_region_scan_cost
+            + built * per_region
+        )
+        plan = ServerPlan(
+            regions=regions,
+            built=built,
+            scanned=scanned,
+            proc_cost=proc,
+            cache_cost=cache_cost,
+            cache_hit=hit,
+            disk_regions=merged,
+        )
+        return plan
+
+    def finish(self, server: "IOServer", req: IORequest, plan, resp, span=None):
+        """Post-storage hook: scatter a read's composite stream back to
+        the participating ranks (one data segment each) and ack the
+        aggregator with a header-only response."""
+        c = req.coll
+        if req.is_write:
+            server.coll.retire(c.coll_id, c.round_no)
+            return resp
+        costs = server.system.costs
+        net = server.system.net
+        env = server.system.env
+        metrics = server.system.metrics
+        stream = resp.payload
+        t0 = env.now
+        off = 0
+        for part in c.parts:
+            payload = None
+            if stream is not None:
+                payload = stream[off : off + part.nbytes]
+            off += part.nbytes
+            seg = CollSegment(
+                coll_id=c.coll_id,
+                round_no=c.round_no,
+                server=server.index,
+                client=part.client,
+                nbytes=part.nbytes,
+                payload=payload,
+            )
+            yield from net.send(
+                server.mailbox,
+                part.reply_to,
+                seg.wire_bytes(costs),
+                payload=seg,
+                pace=False,
+                faultable=False,
+            )
+        server.stage_times.respond += env.now - t0
+        if metrics.enabled:
+            metrics.observe_stage("respond", env.now - t0)
+            metrics.tenant_bytes(req.tenant, resp.nbytes)
+        if span is not None:
+            server.system.tracer.add(
+                "server.scatter",
+                "server",
+                f"iod{server.index}",
+                t0,
+                env.now,
+                trace_id=req.trace_id,
+                parent=span,
+                nbytes=resp.nbytes,
+                parts=len(c.parts),
+            )
+        return IOResponse(req.req_id, nbytes=0, accesses_built=plan.built)
+
+
 # ----------------------------------------------------------------------
 # shared stage bodies
 # ----------------------------------------------------------------------
+def preplan_collective(server: "IOServer", req: IORequest):
+    """Decode + plan a parked collective write round eagerly.
+
+    The aggregated request travels ahead of the round's data segments,
+    so the daemon can do the expensive construction work (window
+    re-expansion, striping split, extent merge) during wire time it
+    would otherwise spend idle waiting for data.  When the last
+    segment lands, only payload assembly, disk and respond remain —
+    the post-reception tail of the collective shrinks from a full
+    plan+storage period to (nearly) the disk time alone.
+
+    Charges and stage accounting are identical to the deferred path;
+    they just happen earlier.  ``record_plan`` is *not* called here —
+    the submit-time pass records the built/scanned counters exactly
+    once via the cached plan.
+    """
+    env = server.system.env
+    st = server.stage_times
+    metrics = server.system.metrics
+    handler = resolve_handler(req.op_kind, server.system.config)
+    t0 = env.now
+    yield env.timeout(handler.decode(server, req))
+    dt = env.now - t0
+    st.decode += dt
+    if metrics.enabled:
+        metrics.observe_stage("decode", dt)
+    plan = handler.build_plan(server, req)
+    cpu = plan.proc_cost + plan.cache_cost
+    if cpu > 0:
+        yield env.timeout(cpu)
+    st.plan += plan.proc_cost
+    st.cache += plan.cache_cost
+    if metrics.enabled:
+        metrics.observe_stage("plan", plan.proc_cost)
+        metrics.observe_stage("cache", plan.cache_cost)
+    req.preplanned = plan
+
+
 def move_data(server: "IOServer", req: IORequest, plan: ServerPlan):
     """The storage stage's data movement (no simulated time here; the
     scheduler charges the disk time).  Returns the response."""
@@ -465,7 +680,9 @@ class SerialScheduler:
         # ----- plan + storage timing (one busy period) -----
         plan = handler.plan(server, req)
         server.record_plan(plan)
-        disk_time = server.disk.access_time(plan.regions)
+        disk_time = server.disk.access_time(
+            plan.regions if plan.disk_regions is None else plan.disk_regions
+        )
         faults = server.system.faults
         if faults.enabled and disk_time > 0:
             # injected slowdown/stall folds into the effective media
@@ -503,6 +720,9 @@ class SerialScheduler:
 
         # ----- storage data movement + respond -----
         resp = move_data(server, req, plan)
+        finish = getattr(handler, "finish", None)
+        if finish is not None:
+            resp = yield from finish(server, req, plan, resp, span)
         yield from _respond(server, req, resp, span)
 
 
@@ -696,7 +916,9 @@ class ThreadedScheduler:
         yield self.disk_arm.request()
         try:
             t3 = env.now
-            disk_time = server.disk.access_time(plan.regions)
+            disk_time = server.disk.access_time(
+                plan.regions if plan.disk_regions is None else plan.disk_regions
+            )
             faults = server.system.faults
             if faults.enabled and disk_time > 0:
                 disk_time += faults.disk_penalty(
@@ -727,6 +949,9 @@ class ThreadedScheduler:
             )
 
         resp = move_data(server, req, plan)
+        finish = getattr(handler, "finish", None)
+        if finish is not None:
+            resp = yield from finish(server, req, plan, resp, span)
         yield from _respond(server, req, resp, span)
 
 
@@ -788,7 +1013,8 @@ class TenantAdmission:
     @staticmethod
     def _cost(req: IORequest) -> int:
         """Admission cost in bytes (descriptor-level knowledge only)."""
-        if req.is_write:
+        if req.is_write or req.op_kind == OP_COLL:
+            # collective reads also declare their round bytes up front
             nb = req.payload_nbytes
         elif req.regions is not None:
             nb = req.regions.total_bytes

@@ -23,16 +23,21 @@ __all__ = [
     "IORequest",
     "IOResponse",
     "DataloopWindow",
+    "CollOp",
+    "CollPart",
+    "CollSegment",
     "OP_CONTIG",
     "OP_LIST",
     "OP_DTYPE",
+    "OP_COLL",
     "OP_KINDS",
 ]
 
 OP_CONTIG = "contig"
 OP_LIST = "list"
 OP_DTYPE = "dtype"
-OP_KINDS = (OP_CONTIG, OP_LIST, OP_DTYPE)
+OP_COLL = "coll"
+OP_KINDS = (OP_CONTIG, OP_LIST, OP_DTYPE, OP_COLL)
 
 
 @dataclass
@@ -91,20 +96,94 @@ class DataloopWindow:
 
 
 @dataclass
+class CollPart:
+    """One participating rank's slice of a collective round.
+
+    The server re-expands the rank's dataloop over the round's stream
+    window ``[first, last)`` itself — region lists never cross the wire
+    (the same invariant datatype I/O relies on).  ``view`` indexes into
+    the owning :class:`CollOp`'s deduplicated view table, so FLASH-style
+    identical views are shipped once per request, not once per rank.
+    """
+
+    client: str  # PVFS client name (payload/scatter identity)
+    reply_to: Any  # the rank's PVFS client mailbox (read scatter)
+    view: int  # index into CollOp.views
+    displacement: int
+    first: int  # round window in the rank's packed stream
+    last: int
+    nbytes: int  # this rank's bytes on this server this round
+
+    #: Wire bytes per participant entry: client id + view index +
+    #: displacement + window + length.
+    WIRE = 40
+
+
+@dataclass
+class CollOp:
+    """Aggregated descriptor for one (server, round) collective request.
+
+    ``views`` holds the *deduplicated* dataloops referenced by
+    ``parts``; it is shipped only in round 0 (``views_on_wire``) — later
+    rounds reference the same loops by 8-byte handles, mirroring the
+    datatype-cache trick one level up.
+    """
+
+    coll_id: tuple  # (file handle, collective epoch, is_write)
+    round_no: int
+    rounds: int  # total rounds of this collective on this server
+    views: tuple  # deduplicated Dataloop table for parts[.].view
+    parts: tuple  # CollPart per participating rank, rank order
+    views_on_wire: bool = True  # False: ship 8-byte view handles
+
+    def descriptor_bytes(self) -> int:
+        size = len(self.parts) * CollPart.WIRE + 24
+        if self.views_on_wire:
+            size += sum(wire_size(v) + 8 for v in self.views)
+        else:
+            size += 8 * len(self.views)
+        return size
+
+
+@dataclass
+class CollSegment:
+    """One rank's data for one (server, round) of a collective.
+
+    Writes: rank → server, carrying the round slice of the rank's
+    packed stream (the server splits it against its own expansion).
+    Reads: server → rank, carrying the slice the rank scatters into its
+    memory type.  Segments are data-path only — the matching
+    :class:`CollOp` request is the control path.
+    """
+
+    coll_id: tuple
+    round_no: int
+    server: int
+    client: str
+    nbytes: int
+    payload: Optional[np.ndarray] = None  # None = phantom
+
+    def wire_bytes(self, costs) -> int:
+        return costs.header_bytes + self.nbytes
+
+
+@dataclass
 class IORequest:
     """An I/O request to one server.
 
     Exactly one of ``regions`` (contig / list I/O: the physical regions
-    for *this* server, already in stream order) or ``window`` (datatype
+    for *this* server, already in stream order), ``window`` (datatype
     I/O: the dataloop plus stream window; the server computes its own
-    regions) is set.
+    regions) or ``coll`` (collective datatype I/O: the aggregated
+    per-round descriptor) is set.
     """
 
     handle: int
     is_write: bool
-    op_kind: str  # OP_CONTIG | OP_LIST | OP_DTYPE
+    op_kind: str  # OP_CONTIG | OP_LIST | OP_DTYPE | OP_COLL
     regions: Optional[Regions] = None
     window: Optional[DataloopWindow] = None
+    coll: Optional[CollOp] = None
     payload: Optional[np.ndarray] = None  # write data (None = phantom)
     payload_nbytes: int = 0
     op_count: int = 1  # collapsed synchronous ops (sim batching)
@@ -125,6 +204,11 @@ class IORequest:
     #: (the default) means the request is untraced.
     trace_id: int = -1
     trace_parent: int = -1
+    #: Server-side only, never set by clients: the plan computed
+    #: eagerly while a collective write round's data segments were
+    #: still in flight (``repro.pvfs.pipeline.preplan_collective``).
+    #: Consumed (and cleared) by ``CollectiveHandler.plan``.
+    preplanned: Any = None
 
     def validate(self) -> None:
         """Check structural well-formedness (the server's decode stage).
@@ -141,6 +225,11 @@ class IORequest:
             if self.window is None:
                 raise ProtocolError(
                     "datatype request without a dataloop window"
+                )
+        elif self.op_kind == OP_COLL:
+            if self.coll is None or not self.coll.parts:
+                raise ProtocolError(
+                    "collective request without an aggregated descriptor"
                 )
         elif self.regions is None:
             raise ProtocolError(
@@ -160,9 +249,15 @@ class IORequest:
                 size += 32
             else:
                 size += self.window.wire_bytes()
+        elif self.op_kind == OP_COLL:
+            size += self.coll.descriptor_bytes()
         return size
 
     def wire_bytes(self, costs) -> int:
+        # Collective write data travels as CollSegments on the data
+        # path; the request itself is control-only either direction.
+        if self.op_kind == OP_COLL:
+            return self.descriptor_bytes(costs)
         return self.descriptor_bytes(costs) + (
             self.payload_nbytes if self.is_write else 0
         )

@@ -21,9 +21,10 @@ from typing import TYPE_CHECKING
 
 from ..simulation.stats import StageTimes
 from ..storage import BlockStore, DiskModel
+from .collective import CollectiveState
 from .expand_cache import ExpansionCache
-from .pipeline import TenantAdmission, make_scheduler
-from .protocol import IORequest
+from .pipeline import TenantAdmission, make_scheduler, preplan_collective
+from .protocol import OP_COLL, CollSegment, IORequest
 
 if TYPE_CHECKING:  # pragma: no cover
     from .system import PVFS
@@ -51,6 +52,8 @@ class IOServer:
             else None
         )
         self.scheduler = make_scheduler(self)
+        #: Collective-round assembly (segment/request rendezvous).
+        self.coll = CollectiveState()
         #: Weighted-fair admission (``PVFSConfig.tenants``); ``None``
         #: keeps the paper's FIFO mailbox admission bit for bit.
         self.admission = (
@@ -102,6 +105,33 @@ class IOServer:
             st.cache_bytes_held = cache.bytes_held
 
     # ------------------------------------------------------------------
+    def _preplan(self, req: IORequest):
+        """Eagerly decode+plan a just-parked collective write round.
+
+        Single-threaded daemons do the work inline (it is daemon CPU,
+        exactly like any other stage); threaded daemons hand it to a
+        pool worker so the dispatcher keeps draining the mailbox.
+        """
+        if self.scheduler.concurrent:
+            self.system.env.process(
+                self._preplan_worker(req),
+                name=f"iod{self.index}.preplan{req.req_id}",
+            )
+            return
+        yield from preplan_collective(self, req)
+
+    def _preplan_worker(self, req: IORequest):
+        sched = self.scheduler
+        yield sched.threads.request()
+        try:
+            # the round may have completed (and been planned the slow
+            # way) while this worker waited for a thread
+            if req.preplanned is None:
+                yield from preplan_collective(self, req)
+        finally:
+            sched.threads.release()
+
+    # ------------------------------------------------------------------
     def run(self):
         if self.admission is not None:
             yield from self._run_tenanted()
@@ -122,12 +152,32 @@ class IOServer:
                     payload=self.store.local_size(handle),
                 )
                 continue
+            if isinstance(payload, CollSegment):
+                # collective data path: file the segment; when it
+                # completes a parked round, release that request
+                yield env.timeout(costs.per_message_cpu)
+                ready = self.coll.ingest_segment(payload)
+                if ready is not None:
+                    queue_wait = 0.0
+                    if self.system.tracer.enabled or self.system.metrics.enabled:
+                        queue_wait = env.now - ready.t_enqueued
+                    yield from self.scheduler.submit(ready.payload, queue_wait)
+                continue
             req: IORequest = payload
             faults = self.system.faults
             if faults.enabled and faults.server_down(self.index):
                 # crashed daemon: the request is silently discarded —
                 # the client's RPC timer is the only recovery path
                 faults.crash_drop(self.index, req)
+                continue
+            if (
+                req.op_kind == OP_COLL
+                and req.is_write
+                and self.coll.park(msg, req)
+            ):
+                # collective write: plan the round now (the control
+                # request outruns the data), then wait for its segments
+                yield from self._preplan(req)
                 continue
             queue_wait = 0.0
             if self.system.tracer.enabled or self.system.metrics.enabled:
@@ -173,6 +223,20 @@ class IOServer:
                         costs.header_bytes,
                         payload=self.store.local_size(handle),
                     )
+                    continue
+                if isinstance(payload, CollSegment):
+                    yield env.timeout(costs.per_message_cpu)
+                    ready = self.coll.ingest_segment(payload)
+                    if ready is not None:
+                        adm.enqueue(ready)
+                    continue
+                req = payload
+                if (
+                    req.op_kind == OP_COLL
+                    and req.is_write
+                    and self.coll.park(msg, req)
+                ):
+                    yield from self._preplan(req)
                     continue
                 adm.enqueue(msg)
             verdict = adm.next()

@@ -215,7 +215,7 @@ class Network:
             # loopback: no wire, no latency
             msg.t_enqueued = env.now
             dst._store.put(msg)
-            return
+            return env.now
         end = self._reserve(src.node, dst.node, nbytes, bandwidth)
         if metrics.enabled:
             metrics.inflight(nbytes)
@@ -252,6 +252,9 @@ class Network:
                 _deliver_later(env, dst, dup, deliver_delay + lat)
         if pace and end > env.now:
             yield env.timeout(end - env.now)
+        # completion time of the transfer (both NIC sides drained);
+        # callers implementing windowed flow control block on it later
+        return end
 
     def request_response(
         self,

@@ -8,6 +8,7 @@ import pytest
 from repro.bench.compare import (
     DEFAULT_TOLERANCE,
     compare_against_dir,
+    compare_collective_docs,
     compare_dtype_cache_docs,
     compare_faults_docs,
     compare_pipeline_docs,
@@ -104,6 +105,42 @@ HOTPATHS_BASE = {
     },
     "speedup": 50.0,
     "bit_identical": True,
+}
+
+COLL_BASE = {
+    "schema": 1,
+    "spec": {
+        "grid": 120,
+        "clients_per_dim": 2,
+        "fig12_clients": 8,
+        "showcase_clients": 4,
+    },
+    "figures": {
+        "fig10_read": {
+            "clients": 8,
+            "mbps": {
+                "posix": 1.0,
+                "data_sieving": None,
+                "datatype_io": 32.0,
+                "collective_dtype": 41.0,
+            },
+        },
+        "fig12": {
+            "clients": 8,
+            "mbps": {"list_io": 0.6, "collective_dtype": 36.0},
+        },
+    },
+    "flash_showcase": {
+        "clients": 4,
+        "views_merged": 3,
+        "dedup_ratio": 0.75,
+        "requests_saved": 10,
+        "collective_requests": 101,
+        "independent_requests": 164,
+        "collective_mbps": 18.4,
+        "independent_mbps": 9.6,
+    },
+    "dominance": {"fig10_read": True, "fig12": True},
 }
 
 
@@ -278,6 +315,55 @@ def test_scale_missing_cell_is_coverage_regression():
     assert bad[0].source == "scale/64x1x4" and bad[0].metric == "coverage"
 
 
+# ----------------------------------------------------------------------
+# collective
+# ----------------------------------------------------------------------
+def test_collective_identical_docs_pass():
+    deltas = compare_collective_docs(COLL_BASE, copy.deepcopy(COLL_BASE))
+    assert deltas
+    assert not any(d.regression for d in deltas)
+
+
+def test_collective_bandwidth_drop_is_regression():
+    cur = copy.deepcopy(COLL_BASE)
+    cur["figures"]["fig10_read"]["mbps"]["collective_dtype"] = 30.0
+    deltas = compare_collective_docs(COLL_BASE, cur)
+    assert any(
+        d.regression and d.source == "collective/fig10_read/collective_dtype"
+        for d in deltas
+    )
+
+
+def test_collective_dominance_flip_is_regression_even_within_tolerance():
+    cur = copy.deepcopy(COLL_BASE)
+    # bandwidth moves less than 5% but the crown is lost
+    cur["figures"]["fig12"]["mbps"]["collective_dtype"] = 35.0
+    cur["figures"]["fig12"]["mbps"]["list_io"] = 35.5
+    cur["dominance"]["fig12"] = False
+    deltas = compare_collective_docs(COLL_BASE, cur)
+    dom = [d for d in deltas if d.metric == "dominance"]
+    assert dom and dom[0].regression
+
+
+def test_collective_showcase_dedup_loss_is_regression():
+    cur = copy.deepcopy(COLL_BASE)
+    cur["flash_showcase"]["views_merged"] = 0
+    cur["flash_showcase"]["requests_saved"] = 0
+    deltas = compare_collective_docs(COLL_BASE, cur)
+    assert any(
+        d.regression and d.metric == "views_merged" for d in deltas
+    )
+
+
+def test_collective_support_loss_is_regression():
+    cur = copy.deepcopy(COLL_BASE)
+    cur["figures"]["fig10_read"]["mbps"]["datatype_io"] = None
+    deltas = compare_collective_docs(COLL_BASE, cur)
+    assert any(
+        d.regression and d.metric == "supported" for d in deltas
+    )
+
+
 def test_compare_against_dir_requires_a_baseline(tmp_path):
     with pytest.raises(FileNotFoundError):
         compare_against_dir(tmp_path)
@@ -289,6 +375,7 @@ def test_compare_against_dir_with_injected_docs(tmp_path):
     (tmp_path / "BENCH_faults.json").write_text(json.dumps(FAULTS_BASE))
     (tmp_path / "BENCH_scale.json").write_text(json.dumps(SCALE_BASE))
     (tmp_path / "BENCH_hotpaths.json").write_text(json.dumps(HOTPATHS_BASE))
+    (tmp_path / "BENCH_collective.json").write_text(json.dumps(COLL_BASE))
     deltas, notes = compare_against_dir(
         tmp_path,
         pipeline_doc=copy.deepcopy(PIPE_BASE),
@@ -296,9 +383,10 @@ def test_compare_against_dir_with_injected_docs(tmp_path):
         faults_doc=copy.deepcopy(FAULTS_BASE),
         scale_doc=copy.deepcopy(SCALE_BASE),
         hotpaths_doc=copy.deepcopy(HOTPATHS_BASE),
+        collective_doc=copy.deepcopy(COLL_BASE),
     )
     # a passing gate says what it checked: one line per file + a total
-    assert notes[-1] == "5 baseline file(s) checked"
+    assert notes[-1] == "6 baseline file(s) checked"
     assert all("field(s) diffed" in n for n in notes[:-1])
     assert not any(d.regression for d in deltas)
 
@@ -311,6 +399,7 @@ def test_compare_against_dir_with_injected_docs(tmp_path):
         faults_doc=copy.deepcopy(FAULTS_BASE),
         scale_doc=copy.deepcopy(SCALE_BASE),
         hotpaths_doc=copy.deepcopy(HOTPATHS_BASE),
+        collective_doc=copy.deepcopy(COLL_BASE),
     )
     assert any(d.regression for d in deltas)
 
@@ -320,11 +409,12 @@ def test_compare_against_dir_skips_missing_files(tmp_path):
     deltas, notes = compare_against_dir(
         tmp_path, pipeline_doc=copy.deepcopy(PIPE_BASE)
     )
-    assert len(notes) == 6  # 1 diffed + 4 skipped + files-checked total
+    assert len(notes) == 7  # 1 diffed + 5 skipped + files-checked total
     assert any("BENCH_dtype_cache.json" in n for n in notes)
     assert any("BENCH_faults.json" in n for n in notes)
     assert any("BENCH_scale.json" in n for n in notes)
     assert any("BENCH_hotpaths.json" in n for n in notes)
+    assert any("BENCH_collective.json" in n for n in notes)
     assert notes[-1] == "1 baseline file(s) checked"
 
 
@@ -336,6 +426,7 @@ def test_update_baselines_writes_all_documents(tmp_path):
         faults_doc=copy.deepcopy(FAULTS_BASE),
         scale_doc=copy.deepcopy(SCALE_BASE),
         hotpaths_doc=copy.deepcopy(HOTPATHS_BASE),
+        collective_doc=copy.deepcopy(COLL_BASE),
     )
     assert [p.name for p in written] == [
         "BENCH_pipeline.json",
@@ -343,6 +434,7 @@ def test_update_baselines_writes_all_documents(tmp_path):
         "BENCH_faults.json",
         "BENCH_scale.json",
         "BENCH_hotpaths.json",
+        "BENCH_collective.json",
     ]
     # the refreshed baselines must round-trip and gate clean against
     # the very documents they were refreshed from
@@ -354,8 +446,9 @@ def test_update_baselines_writes_all_documents(tmp_path):
         faults_doc=copy.deepcopy(FAULTS_BASE),
         scale_doc=copy.deepcopy(SCALE_BASE),
         hotpaths_doc=copy.deepcopy(HOTPATHS_BASE),
+        collective_doc=copy.deepcopy(COLL_BASE),
     )
-    assert notes[-1] == "5 baseline file(s) checked"
+    assert notes[-1] == "6 baseline file(s) checked"
     assert not any(d.regression for d in deltas)
 
 
@@ -373,6 +466,7 @@ def test_cli_update_baseline_flag(tmp_path, capsys):
             faults_doc=copy.deepcopy(FAULTS_BASE),
             scale_doc=copy.deepcopy(SCALE_BASE),
             hotpaths_doc=copy.deepcopy(HOTPATHS_BASE),
+            collective_doc=copy.deepcopy(COLL_BASE),
         )
 
     compare_mod.update_baselines = fake_update
