@@ -16,6 +16,8 @@ import pathlib
 from typing import Optional, Sequence
 
 from ..pvfs import PVFSConfig
+from ..simulation.costs import CostModel
+from ..trace.critical import critical_path
 from .characteristics import METHOD_ORDER
 from .runner import run_workload
 from .workloads import Block3DWorkload, FlashWorkload, TileWorkload
@@ -43,22 +45,33 @@ def collect_pipeline_baseline(
 ) -> dict:
     """Run the reduced benchmark matrix and collect results as a dict.
 
-    With ``trace=True`` each run executes under ``PVFSConfig(trace=True)``
-    and the per-method entries additionally carry a ``"trace"`` block —
-    the aggregated span summary (span/trace counts, per-category seconds
-    and per-server-stage seconds from the recorded spans).  Timings are
-    bit-identical either way: the tracer observes the simulated clock
-    but never advances it.
+    Every run executes under ``PVFSConfig(trace=True)`` so each entry
+    carries the coarse ``"bottleneck"`` verdict
+    (:meth:`~repro.simulation.stats.NetworkSummary.bottleneck`) and the
+    exact ``"critical_blame"`` shares (:func:`repro.trace.critical
+    .critical_path`) — the fields ``repro-bench compare`` uses to name
+    the resource behind a drift.  Timings are bit-identical to an
+    untraced run: the tracer observes the simulated clock but never
+    advances it (a gated invariant).  With ``trace=True`` the entries
+    additionally carry the full ``"trace"`` block — the aggregated span
+    summary (span/trace counts, per-category seconds, per-server-stage
+    seconds and per-family fault span counts).
     """
+    costs = CostModel()
     doc: dict = {"schema": SCHEMA, "scale": "reduced", "benchmarks": {}}
     for name, wl in _bench_cases():
         per_method: dict = {}
         for method in methods:
-            config = PVFSConfig(trace=True) if trace else None
-            r = run_workload(wl, method, phantom=True, config=config)
+            config = PVFSConfig(trace=True)
+            r = run_workload(
+                wl, method, phantom=True, costs=costs, config=config
+            )
             if not r.supported:
                 per_method[method] = {"supported": False, "note": r.note}
                 continue
+            blame = critical_path(
+                r.tracer, nic_bandwidth=costs.nic_bandwidth, config=config
+            )
             per_method[method] = {
                 "supported": True,
                 "mbps": round(r.bandwidth_mbps, 3),
@@ -66,14 +79,20 @@ def collect_pipeline_baseline(
                 "n_clients": r.n_clients,
                 "io_ops_per_client": r.io_ops,
                 "server_stages": r.pipeline.total.as_dict(),
+                "bottleneck": r.network.bottleneck(r.pipeline.total),
+                "critical_blame": {
+                    res: round(share, 6)
+                    for res, share in blame.shares().items()
+                },
             }
-            if r.trace_summary is not None:
+            if trace and r.trace_summary is not None:
                 s = r.trace_summary
                 per_method[method]["trace"] = {
                     "spans": s["spans"],
                     "traces": s["traces"],
                     "by_category_s": s["by_category_s"],
                     "server_stages_s": s["server_stages_s"],
+                    "fault_spans": s["fault_spans"],
                 }
         doc["benchmarks"][name] = per_method
     return doc

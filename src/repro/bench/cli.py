@@ -172,6 +172,51 @@ def cmd_metrics(args, out):
         print(f"[saved {path}]", file=sys.stderr)
 
 
+def cmd_dash(args, out):
+    """Self-contained performance dashboard (DASH_*.html)."""
+    from .dashcmd import collect_dash, smoke_dash, write_dash
+
+    if args.smoke:
+        problems = smoke_dash(args.workload, args.method)
+        if problems:
+            for p in problems:
+                print(f"dash problem: {p}", file=sys.stderr)
+            raise SystemExit(f"{len(problems)} dash problem(s)")
+        print(
+            "[dash smoke OK: byte-deterministic, blame conserved, "
+            "self-contained]",
+            file=sys.stderr,
+        )
+        if out is None:
+            return
+    data = collect_dash(
+        args.workload,
+        args.method,
+        faults=args.faults,
+        tenants=args.tenants,
+    )
+    report = data["report"]
+    shares = report.shares()
+    dominant = report.dominant()
+    print(
+        f"dash {args.workload}/{args.method}: "
+        f"{report.traces} traces, critical path {report.total:.4f}s, "
+        f"dominant blame {dominant} ({shares[dominant]:.1%})"
+    )
+    path = write_dash(data, out)
+    print(f"[saved {path}]", file=sys.stderr)
+    if args.trace:
+        from .tracecmd import write_trace_artifacts
+
+        for p in write_trace_artifacts(data["result"], out):
+            print(f"[saved {p}]", file=sys.stderr)
+    if args.metrics:
+        from .metricscmd import write_metrics_artifacts
+
+        for p in write_metrics_artifacts(data["result"], out):
+            print(f"[saved {p}]", file=sys.stderr)
+
+
 def cmd_faults(args, out):
     """Fault-injection severity sweep (BENCH_faults.json) / chaos smoke."""
     from .faultscmd import main_smoke, write_faults_bench
@@ -376,6 +421,7 @@ COMMANDS = {
     "hotpaths": cmd_hotpaths,
     "trace": cmd_trace,
     "metrics": cmd_metrics,
+    "dash": cmd_dash,
     "faults": cmd_faults,
     "scale": cmd_scale,
     "collective": cmd_collective,
@@ -470,7 +516,26 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--trace",
         action="store_true",
-        help="json: include per-method span summaries in the baseline",
+        help="json: include per-method span summaries in the baseline; "
+        "dash: also write the Chrome trace artifacts",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="dash: also write the OpenMetrics / imbalance artifacts",
+    )
+    parser.add_argument(
+        "--faults",
+        choices=["none", "light", "moderate", "heavy"],
+        default=None,
+        help="dash: arm a chaos severity preset for the dashboard run",
+    )
+    parser.add_argument(
+        "--tenants",
+        type=int,
+        default=None,
+        help="dash: run N equal-weight tenants through weighted-fair "
+        "admission (ranks assigned round-robin)",
     )
     parser.add_argument(
         "--update-baseline",

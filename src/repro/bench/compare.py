@@ -63,10 +63,31 @@ class Delta:
     change: float  #: signed relative change, (cur - base) / base
     regression: bool
     note: str = ""
+    unit: str = ""  #: display unit of baseline/current ("MiB/s", "s", …)
+    baseline_file: str = ""  #: BENCH_*.json file this delta gates against
 
     @property
     def improved(self) -> bool:
-        return not self.regression and self.note == "improved"
+        # note may carry a blame-delta suffix after "improved"
+        return not self.regression and self.note.startswith("improved")
+
+
+#: metric name → display unit for the comparison report.
+_METRIC_UNITS = {
+    "mbps": "MiB/s",
+    "collective_mbps": "MiB/s",
+    "bytes": "B",
+    "accessed_bytes": "B",
+    "resent_bytes": "B",
+}
+
+
+def _unit(metric: str) -> str:
+    if metric in _METRIC_UNITS:
+        return _METRIC_UNITS[metric]
+    if metric.endswith("_s") or metric == "sim_s":
+        return "s"
+    return ""
 
 
 def _rel(base: float, cur: float) -> float:
@@ -93,7 +114,37 @@ def _diff(
         note = "regression"
     elif -harmful > tolerance:
         note = "improved"
-    deltas.append(Delta(source, metric, base, cur, change, regression, note))
+    deltas.append(
+        Delta(
+            source, metric, base, cur, change, regression, note,
+            unit=_unit(metric),
+        )
+    )
+
+
+def _blame_shift(base_blame, cur_blame) -> str:
+    """Name the resource whose critical-path share moved most.
+
+    Input: the ``critical_blame`` share dicts of two pipeline baseline
+    entries (either may be missing — older baselines predate blame
+    collection).  Output like ``"blame: disk 41.2%→58.0% of critical
+    path"``, or ``""`` when unavailable.
+    """
+    if not base_blame or not cur_blame:
+        return ""
+    best, best_move = "", 0.0
+    for resource in set(base_blame) | set(cur_blame):
+        move = abs(
+            cur_blame.get(resource, 0.0) - base_blame.get(resource, 0.0)
+        )
+        if move > best_move:
+            best, best_move = resource, move
+    if not best:
+        return ""
+    return (
+        f"blame: {best} {base_blame.get(best, 0.0):.1%}"
+        f"→{cur_blame.get(best, 0.0):.1%} of critical path"
+    )
 
 
 def compare_pipeline_docs(
@@ -134,6 +185,7 @@ def compare_pipeline_docs(
                     )
                 )
                 continue
+            mark = len(deltas)
             _diff(
                 deltas, source, "mbps", b["mbps"], c["mbps"],
                 tolerance, higher_is_better=True,
@@ -148,6 +200,18 @@ def compare_pipeline_docs(
                 deltas, source, "server_busy_s", busy_b, busy_c,
                 tolerance, higher_is_better=False,
             )
+            # any flagged drift gets the attribution story: which
+            # resource's critical-path share moved ("it got slower"
+            # becomes "disk went from 41% to 58% of the critical path")
+            shift = _blame_shift(
+                b.get("critical_blame"), c.get("critical_blame")
+            )
+            if shift:
+                for d in deltas[mark:]:
+                    if d.note == "regression":
+                        d.note = shift
+                    elif d.note:
+                        d.note += f"; {shift}"
     return deltas
 
 
@@ -425,6 +489,10 @@ def compare_against_dir(
     notes: list[str] = []
     found = 0
 
+    def _stamp(new: list[Delta], path: pathlib.Path) -> None:
+        for d in new:
+            d.baseline_file = path.name
+
     pipe_path = baseline_dir / "BENCH_pipeline.json"
     if pipe_path.exists():
         found += 1
@@ -434,6 +502,7 @@ def compare_against_dir(
 
             pipeline_doc = collect_pipeline_baseline()
         new = compare_pipeline_docs(base, pipeline_doc, tolerance)
+        _stamp(new, pipe_path)
         deltas.extend(new)
         notes.append(f"{pipe_path.name}: {len(new)} field(s) diffed")
     else:
@@ -450,6 +519,7 @@ def compare_against_dir(
             # compared, so best-of-N wall timing is wasted work here
             dtype_cache_doc = collect(CachePhase.full(), repeats=1)
         new = compare_dtype_cache_docs(base, dtype_cache_doc, tolerance)
+        _stamp(new, cache_path)
         deltas.extend(new)
         notes.append(f"{cache_path.name}: {len(new)} field(s) diffed")
     else:
@@ -464,6 +534,7 @@ def compare_against_dir(
 
             faults_doc = collect_faults_bench(seed=base.get("seed", 1234))
         new = compare_faults_docs(base, faults_doc, tolerance)
+        _stamp(new, faults_path)
         deltas.extend(new)
         notes.append(f"{faults_path.name}: {len(new)} field(s) diffed")
     else:
@@ -479,6 +550,7 @@ def compare_against_dir(
             # replay the exact grid the baseline was recorded with
             scale_doc = collect_scale_bench(base.get("spec"))
         new = compare_scale_docs(base, scale_doc, tolerance)
+        _stamp(new, scale_path)
         deltas.extend(new)
         notes.append(f"{scale_path.name}: {len(new)} field(s) diffed")
     else:
@@ -497,6 +569,7 @@ def compare_against_dir(
                 quick=base.get("quick", False), repeats=1
             )
         new = compare_hotpaths_docs(base, hotpaths_doc, tolerance)
+        _stamp(new, hot_path)
         deltas.extend(new)
         notes.append(f"{hot_path.name}: {len(new)} field(s) diffed")
     else:
@@ -512,6 +585,7 @@ def compare_against_dir(
             # replay the exact scales the baseline was recorded with
             collective_doc = collect_collective_bench(base.get("spec"))
         new = compare_collective_docs(base, collective_doc, tolerance)
+        _stamp(new, coll_path)
         deltas.extend(new)
         notes.append(f"{coll_path.name}: {len(new)} field(s) diffed")
     else:
@@ -604,31 +678,47 @@ def update_baselines(
 def render_compare(
     deltas: list[Delta], tolerance: float = DEFAULT_TOLERANCE
 ) -> str:
-    """Aligned text report of a comparison run."""
+    """Aligned text report of a comparison run.
+
+    Values print with their units (``MiB/s``, ``s``) and the change as
+    a signed percentage; every failure line names the ``BENCH_*.json``
+    baseline file it gates against, and flagged drifts carry the
+    blame-delta attribution when the baselines record critical-path
+    shares.
+    """
     title = (
         f"Benchmark comparison vs baseline "
         f"(tolerance ±{tolerance:.1%}, {len(deltas)} metrics)"
     )
     header = (
-        f"{'source':>34s} {'metric':>14s} {'baseline':>12s} "
-        f"{'current':>12s} {'change':>8s}  verdict"
+        f"{'source':>34s} {'metric':>14s} {'baseline':>16s} "
+        f"{'current':>16s} {'change':>8s}  verdict"
     )
     lines = [title, "=" * len(header), header, "-" * len(header)]
 
-    def num(v):
-        return f"{v:>12.6g}" if v is not None else f"{'—':>12s}"
+    def num(v, unit):
+        if v is None:
+            return f"{'—':>16s}"
+        s = f"{v:.6g}" + (f" {unit}" if unit else "")
+        return f"{s:>16s}"
 
     for d in deltas:
-        verdict = "REGRESSION" if d.regression else (d.note or "ok")
-        lines.append(
-            f"{d.source:>34s} {d.metric:>14s} {num(d.baseline)} "
-            f"{num(d.current)} {d.change:>+7.1%}  {verdict}"
-            + (
-                f" ({d.note})"
-                if d.regression and d.note not in ("", "regression")
-                else ""
-            )
+        if d.regression:
+            verdict = "REGRESSION"
+        elif d.improved:
+            verdict = "improved"
+        else:
+            verdict = d.note or "ok"
+        line = (
+            f"{d.source:>34s} {d.metric:>14s} {num(d.baseline, d.unit)} "
+            f"{num(d.current, d.unit)} {d.change:>+7.1%}  {verdict}"
         )
+        if d.regression:
+            if d.note not in ("", "regression"):
+                line += f" ({d.note})"
+            if d.baseline_file:
+                line += f" [{d.baseline_file}]"
+        lines.append(line)
     n_reg = sum(d.regression for d in deltas)
     n_imp = sum(d.improved for d in deltas)
     lines.append("")

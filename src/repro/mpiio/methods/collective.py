@@ -309,6 +309,9 @@ def _collective_op(op):
                 seg = CollSegment(
                     coll_id, r, server, fs.name, int(sp.nbytes), payload
                 )
+                if span is not None:
+                    seg.trace_id = span.trace_id
+                    seg.trace_parent = span.span_id
                 yield from fs.coll_send_segment(server, seg)
         fs.counters.bytes_written += nbytes
 

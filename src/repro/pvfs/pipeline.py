@@ -389,6 +389,9 @@ class CollectiveHandler(RequestHandler):
                 nbytes=part.nbytes,
                 payload=payload,
             )
+            if span is not None:
+                seg.trace_id = req.trace_id
+                seg.trace_parent = span.span_id
             yield from net.send(
                 server.mailbox,
                 part.reply_to,
@@ -433,11 +436,17 @@ def preplan_collective(server: "IOServer", req: IORequest):
     Charges and stage accounting are identical to the deferred path;
     they just happen earlier.  ``record_plan`` is *not* called here —
     the submit-time pass records the built/scanned counters exactly
-    once via the cached plan.
+    once via the cached plan.  Spans, too, are recorded here rather
+    than at submit time (where the stages are zero-width): they parent
+    directly under the aggregator's rpc span, as siblings of the later
+    ``server.request``.
     """
     env = server.system.env
     st = server.stage_times
     metrics = server.system.metrics
+    tracer = server.system.tracer
+    traced = tracer.enabled and req.trace_id >= 0
+    actor = f"iod{server.index}"
     handler = resolve_handler(req.op_kind, server.system.config)
     t0 = env.now
     yield env.timeout(handler.decode(server, req))
@@ -445,8 +454,20 @@ def preplan_collective(server: "IOServer", req: IORequest):
     st.decode += dt
     if metrics.enabled:
         metrics.observe_stage("decode", dt)
+    if traced:
+        tracer.add(
+            "server.decode",
+            "server",
+            actor,
+            t0,
+            env.now,
+            trace_id=req.trace_id,
+            parent=req.trace_parent,
+            preplanned=True,
+        )
     plan = handler.build_plan(server, req)
     cpu = plan.proc_cost + plan.cache_cost
+    t1 = env.now
     if cpu > 0:
         yield env.timeout(cpu)
     st.plan += plan.proc_cost
@@ -454,6 +475,32 @@ def preplan_collective(server: "IOServer", req: IORequest):
     if metrics.enabled:
         metrics.observe_stage("plan", plan.proc_cost)
         metrics.observe_stage("cache", plan.cache_cost)
+    if traced:
+        t2 = t1 + plan.proc_cost
+        tracer.add(
+            "server.plan",
+            "server",
+            actor,
+            t1,
+            t2,
+            trace_id=req.trace_id,
+            parent=req.trace_parent,
+            built=plan.built,
+            scanned=plan.scanned,
+            preplanned=True,
+        )
+        if plan.cache_cost > 0 or plan.cache_hit:
+            tracer.add(
+                "server.cache",
+                "server",
+                actor,
+                t2,
+                t2 + plan.cache_cost,
+                trace_id=req.trace_id,
+                parent=req.trace_parent,
+                hit=plan.cache_hit,
+                preplanned=True,
+            )
     req.preplanned = plan
 
 

@@ -162,6 +162,8 @@ class CollSegment:
     client: str
     nbytes: int
     payload: Optional[np.ndarray] = None  # None = phantom
+    trace_id: int = -1  # trace correlation (ints survive the wire)
+    trace_parent: int = -1
 
     def wire_bytes(self, costs) -> int:
         return costs.header_bytes + self.nbytes

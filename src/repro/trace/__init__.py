@@ -9,6 +9,13 @@ network, and through all four server pipeline stages.  Export with
 """
 
 from .core import NULL_TRACER, NullTracer, Span, TraceRecorder
+from .critical import (
+    RESOURCE_ORDER,
+    BlameReport,
+    Segment,
+    critical_path,
+    reconcile_blame,
+)
 from .export import (
     SERVER_STAGE_SPANS,
     chrome_trace,
@@ -29,4 +36,9 @@ __all__ = [
     "validate_chrome",
     "reconcile",
     "SERVER_STAGE_SPANS",
+    "RESOURCE_ORDER",
+    "Segment",
+    "BlameReport",
+    "critical_path",
+    "reconcile_blame",
 ]

@@ -186,10 +186,13 @@ def summarize_trace(recorder: TraceRecorder) -> dict:
 
     The ``server_stages`` block uses :data:`SERVER_STAGE_SPANS` to sum
     each pipeline stage's span durations in seconds — directly
-    comparable with ``StageTimes.as_dict()``.
+    comparable with ``StageTimes.as_dict()``.  ``fault_spans`` counts
+    ``fault.*`` spans per family (e.g. ``disk.stall``, ``net.drop``) so
+    chaos runs are auditable from the summary alone.
     """
     by_cat: dict = {}
     by_name: dict = {}
+    fault_counts: dict = {}
     for s in recorder.spans:
         if s.end is None:
             continue
@@ -198,6 +201,9 @@ def summarize_trace(recorder: TraceRecorder) -> dict:
         ent = by_name.setdefault(s.name, {"count": 0, "seconds": 0.0})
         ent["count"] += 1
         ent["seconds"] += d
+        if s.name.startswith("fault."):
+            family = s.name[len("fault."):]
+            fault_counts[family] = fault_counts.get(family, 0) + 1
     stages = {
         field: by_name.get(name, {"seconds": 0.0})["seconds"]
         for name, field in SERVER_STAGE_SPANS.items()
@@ -208,6 +214,7 @@ def summarize_trace(recorder: TraceRecorder) -> dict:
         "by_category_s": by_cat,
         "by_name": by_name,
         "server_stages_s": stages,
+        "fault_spans": fault_counts,
     }
 
 

@@ -490,6 +490,78 @@ def test_render_compare_verdicts():
     assert f"±{DEFAULT_TOLERANCE:.1%}" in text
 
 
+def test_render_compare_prints_units():
+    deltas = compare_pipeline_docs(PIPE_BASE, copy.deepcopy(PIPE_BASE))
+    text = render_compare(deltas)
+    assert "1 MiB/s" in text  # mbps values carry their unit
+    assert "0.05 s" in text  # elapsed_s carries seconds
+    units = {d.metric: d.unit for d in deltas}
+    assert units["mbps"] == "MiB/s"
+    assert units["elapsed_s"] == "s"
+    assert units["server_busy_s"] == "s"
+
+
+def test_regression_line_names_the_baseline_file(tmp_path):
+    (tmp_path / "BENCH_pipeline.json").write_text(json.dumps(PIPE_BASE))
+    regressed = copy.deepcopy(PIPE_BASE)
+    regressed["benchmarks"]["fig8_tile_read"]["datatype_io"]["mbps"] = 0.5
+    deltas, _ = compare_against_dir(tmp_path, pipeline_doc=regressed)
+    bad = [d for d in deltas if d.regression]
+    assert bad and all(d.baseline_file == "BENCH_pipeline.json" for d in bad)
+    text = render_compare(deltas)
+    line = next(l for l in text.splitlines() if "REGRESSION" in l)
+    assert "[BENCH_pipeline.json]" in line
+
+
+def _with_blame(doc, shares):
+    doc = copy.deepcopy(doc)
+    doc["benchmarks"]["fig8_tile_read"]["datatype_io"][
+        "critical_blame"
+    ] = dict(shares)
+    return doc
+
+
+def test_blame_delta_attached_to_regressions():
+    base = _with_blame(
+        PIPE_BASE, {"disk": 0.4, "net_wire": 0.3, "client_cpu": 0.3}
+    )
+    cur = _with_blame(
+        PIPE_BASE, {"disk": 0.7, "net_wire": 0.2, "client_cpu": 0.1}
+    )
+    cur["benchmarks"]["fig8_tile_read"]["datatype_io"]["mbps"] = 0.5
+    deltas = compare_pipeline_docs(base, cur)
+    bad = next(d for d in deltas if d.regression and d.metric == "mbps")
+    # the note IS the blame shift (not "regression; blame: ..."), and it
+    # names the resource whose critical-path share moved most
+    assert bad.note == "blame: disk 40.0%→70.0% of critical path"
+    line = next(
+        l for l in render_compare(deltas).splitlines() if "REGRESSION" in l
+    )
+    assert "blame: disk" in line
+
+
+def test_blame_delta_suffixes_improvements():
+    base = _with_blame(PIPE_BASE, {"disk": 0.9, "client_cpu": 0.1})
+    cur = _with_blame(
+        PIPE_BASE, {"disk": 0.3, "client_cpu": 0.2, "net_wire": 0.5}
+    )
+    cur["benchmarks"]["fig8_tile_read"]["datatype_io"]["mbps"] = 2.0
+    deltas = compare_pipeline_docs(base, cur)
+    d = next(d for d in deltas if d.metric == "mbps")
+    assert d.improved  # the suffix must not break the improved property
+    assert d.note.startswith("improved; blame: disk")
+
+
+def test_blame_delta_absent_when_baseline_predates_blame():
+    # older baselines carry no critical_blame: drift still gates, the
+    # note just stays plain
+    cur = copy.deepcopy(PIPE_BASE)
+    cur["benchmarks"]["fig8_tile_read"]["datatype_io"]["mbps"] = 0.5
+    deltas = compare_pipeline_docs(PIPE_BASE, cur)
+    bad = next(d for d in deltas if d.regression)
+    assert bad.note == "regression"
+
+
 def test_cli_compare_exit_codes(tmp_path, capsys):
     """End-to-end through the CLI: exit 0 clean, SystemExit on regression."""
     from repro.bench import cli

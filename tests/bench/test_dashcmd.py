@@ -1,0 +1,168 @@
+"""The self-contained dashboard: determinism, well-formedness, CLI."""
+
+import pytest
+
+from repro.bench.dashcmd import (
+    collect_dash,
+    render_dash,
+    smoke_dash,
+    verify_html,
+    write_dash,
+)
+
+FAST = {"blame_methods": ("datatype_io",)}
+
+
+@pytest.fixture(scope="module")
+def tile_dash():
+    return collect_dash("tile", "datatype_io", **FAST)
+
+
+class TestCollect:
+    def test_unknown_workload_raises(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            collect_dash("no-such-workload", "datatype_io", **FAST)
+
+    def test_unsupported_method_raises(self):
+        # data sieving has no write path (paper: no locking)
+        with pytest.raises(ValueError, match="unsupported"):
+            collect_dash("flash", "data_sieving", **FAST)
+
+    def test_payload_shape(self, tile_dash):
+        assert tile_dash["workload"] == "tile"
+        assert tile_dash["method"] == "datatype_io"
+        assert tile_dash["faults"] == "none"
+        assert tile_dash["tenants"] == 1
+        assert "datatype_io" in tile_dash["blames"]
+        shares = tile_dash["blames"]["datatype_io"]
+        assert sum(shares.values()) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestRender:
+    def test_byte_deterministic(self, tile_dash):
+        html1 = render_dash(tile_dash)
+        html2 = render_dash(collect_dash("tile", "datatype_io", **FAST))
+        assert html1 == html2
+
+    def test_self_contained_and_well_formed(self, tile_dash):
+        html = render_dash(tile_dash)
+        assert verify_html(html) == []
+        # all five panels render
+        assert html.count("<svg") == 5
+        assert "NIC utilization" in html
+        assert "queue depth per I/O daemon" in html
+        assert "Critical path of the slowest request" in html
+        assert "Critical-path blame by access method" in html
+
+    def test_header_carries_both_verdicts(self, tile_dash):
+        html = render_dash(tile_dash)
+        assert "bottleneck (coarse)" in html
+        assert "critical-path blame" in html
+
+    def test_write_dash_filename(self, tile_dash, tmp_path):
+        path = write_dash(tile_dash, tmp_path)
+        assert path.name == "DASH_tile_datatype_io.html"
+        assert path.read_text() == render_dash(tile_dash)
+
+
+class TestVerifyHtml:
+    GOOD = (
+        "<!DOCTYPE html>\n<html><head><title>t</title></head>"
+        '<body><svg xmlns="http://www.w3.org/2000/svg"></svg>'
+        "</body></html>\n"
+    )
+
+    def test_good_document_passes(self):
+        assert verify_html(self.GOOD) == []
+
+    def test_missing_doctype(self):
+        assert "missing DOCTYPE" in verify_html(self.GOOD[16:])
+
+    def test_script_rejected(self):
+        bad = self.GOOD.replace("<body>", "<body><script>x</script>")
+        assert any("script" in p for p in verify_html(bad))
+
+    def test_external_url_rejected(self):
+        bad = self.GOOD.replace(
+            "<body>", '<body><img src="https://cdn.example/x.png"/>'
+        )
+        assert any("external URL" in p for p in verify_html(bad))
+
+    def test_unbalanced_svg_rejected(self):
+        bad = self.GOOD.replace("</svg>", "")
+        assert any("unbalanced <svg>" in p for p in verify_html(bad))
+
+    def test_no_svg_rejected(self):
+        bad = self.GOOD.replace(
+            '<svg xmlns="http://www.w3.org/2000/svg"></svg>', ""
+        )
+        assert "no SVG panels" in verify_html(bad)
+
+
+class TestComposability:
+    def test_faulted_dash_renders(self):
+        data = collect_dash(
+            "block3d-read", "datatype_io", faults="heavy", **FAST
+        )
+        assert data["faults"] == "heavy"
+        html = render_dash(data)
+        assert verify_html(html) == []
+        assert "injected faults" in html
+
+    def test_tenanted_dash_renders(self):
+        data = collect_dash("tile", "datatype_io", tenants=2, **FAST)
+        assert data["tenants"] == 2
+        assert verify_html(render_dash(data)) == []
+
+
+def test_smoke_dash_gate():
+    assert smoke_dash("tile", "datatype_io") == []
+
+
+class TestCli:
+    def test_dash_writes_artifact(self, tmp_path, capsys):
+        from repro.bench import cli
+
+        rc = cli.main(
+            [
+                "dash",
+                "--workload", "tile",
+                "--method", "datatype_io",
+                "--out", str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        assert (tmp_path / "DASH_tile_datatype_io.html").exists()
+        out = capsys.readouterr()
+        assert "dominant blame" in out.out
+        assert "DASH_tile_datatype_io.html" in out.err
+
+    def test_dash_trace_and_metrics_artifacts(self, tmp_path, capsys):
+        from repro.bench import cli
+
+        rc = cli.main(
+            [
+                "dash",
+                "--workload", "tile",
+                "--method", "datatype_io",
+                "--trace",
+                "--metrics",
+                "--out", str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        names = {p.name for p in tmp_path.iterdir()}
+        assert "DASH_tile_datatype_io.html" in names
+        assert any(n.startswith("TRACE_") for n in names)
+        assert any(n.startswith("METRICS_") for n in names)
+        capsys.readouterr()
+
+    def test_dash_smoke_flag(self, capsys):
+        from repro.bench import cli
+
+        rc = cli.main(
+            ["dash", "--smoke", "--workload", "tile",
+             "--method", "datatype_io"]
+        )
+        assert rc == 0
+        assert "dash smoke OK" in capsys.readouterr().err

@@ -113,6 +113,18 @@ class TestSummaries:
         assert s["server_stages_s"]["plan"] == pytest.approx(0.1)
         assert s["server_stages_s"]["storage"] == 0.0
 
+    def test_summarize_counts_fault_spans_per_family(self):
+        rec = small_recorder()
+        t = rec.spans[0].trace_id
+        rec.add("fault.disk.slow", "fault", "iod0", 0.3, 0.35, trace_id=t)
+        rec.add("fault.disk.slow", "fault", "iod0", 0.4, 0.45, trace_id=t)
+        rec.add("fault.net.drop", "fault", "net", 0.5, 0.5, trace_id=t)
+        s = summarize_trace(rec)
+        assert s["fault_spans"] == {"disk.slow": 2, "net.drop": 1}
+
+    def test_fault_spans_empty_without_faults(self):
+        assert summarize_trace(small_recorder())["fault_spans"] == {}
+
     def test_reconcile_flags_divergence(self):
         rec = small_recorder()
 
