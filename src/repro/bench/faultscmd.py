@@ -1,6 +1,8 @@
 """``repro-bench faults``: degraded-mode bandwidth under fault injection.
 
-Sweeps the reduced tile workload across every access method and every
+Sweeps the reduced tile workload across every access method — the five
+independent paths *and* collective datatype I/O, whose ack/re-election
+failover is exercised by the same presets — and every
 :data:`~repro.faults.SEVERITY_LEVELS` preset (``none`` → ``heavy``),
 recording aggregate bandwidth, elapsed simulated time and the injector's
 fault accounting into ``BENCH_faults.json``.  Every recorded field is a
@@ -30,7 +32,7 @@ from typing import Optional, Sequence
 
 from ..faults import SEVERITY_LEVELS, severity_config
 from ..pvfs import PVFSConfig
-from .characteristics import INDEPENDENT_METHODS
+from .characteristics import METHOD_ORDER
 from .runner import RunResult, run_workload
 from .workloads import TileWorkload
 
@@ -75,7 +77,7 @@ def run_faulted(
 
 
 def collect_faults_bench(
-    methods: Sequence[str] = INDEPENDENT_METHODS,
+    methods: Sequence[str] = METHOD_ORDER,
     *,
     seed: int = SWEEP_SEED,
 ) -> dict:
@@ -121,7 +123,7 @@ def collect_faults_bench(
 
 def write_faults_bench(
     out_dir: Optional[pathlib.Path] = None,
-    methods: Sequence[str] = INDEPENDENT_METHODS,
+    methods: Sequence[str] = METHOD_ORDER,
     *,
     seed: int = SWEEP_SEED,
 ) -> tuple[pathlib.Path, dict]:
@@ -181,12 +183,30 @@ def smoke(method: str = "datatype_io") -> list[str]:
             f"severity 'none' differs from faults=None: "
             f"{r_none.elapsed!r} != {r_off.elapsed!r}"
         )
+    # degradation must cost time, never gain it: injected faults only
+    # add stalls, drops and retries on top of the fault-free schedule
+    if r1.elapsed < r_none.elapsed:
+        problems.append(
+            f"heavy preset finished faster than fault-free: "
+            f"{r1.elapsed!r} < {r_none.elapsed!r}"
+        )
     return problems
 
 
 def main_smoke(method: str = "datatype_io") -> None:
-    """Run :func:`smoke` and exit nonzero on any problem (CLI helper)."""
-    problems = smoke(method)
+    """Run :func:`smoke` and exit nonzero on any problem (CLI helper).
+
+    Collective datatype I/O is always covered alongside the requested
+    method: its failover machinery (per-round acks, re-election) is a
+    separate code path from the independent RPC ladder and regresses
+    independently.
+    """
+    methods = [method]
+    if method != "collective_dtype":
+        methods.append("collective_dtype")
+    problems = []
+    for m in methods:
+        problems.extend(f"{m}: {p}" for p in smoke(m))
     if problems:
         for p in problems:
             print(f"faults problem: {p}", file=sys.stderr)

@@ -94,6 +94,14 @@ class FaultConfig:
     #: Base backoff before a timed-out request is resent; doubles per
     #: consecutive timeout (exponential backoff).
     retry_backoff: float = 1e-3
+    #: Collective failover: consecutive timeouts of one aggregated
+    #: ``OP_COLL`` request before the aggregator hands its rounds to
+    #: the next surviving candidate (``repro.pvfs.collective``).  Must
+    #: stay below ``max_retries`` to leave the new aggregator budget;
+    #: re-election is attempted once the escalation ladder reaches this
+    #: rung and a surviving candidate exists, otherwise the plain
+    #: ladder continues to ``RetriesExhausted``.
+    coll_reelect_after: int = 3
 
     def __post_init__(self):
         for name in (
@@ -113,6 +121,8 @@ class FaultConfig:
             raise ValueError("max_retries must be non-negative")
         if self.retry_backoff < 0:
             raise ValueError("retry_backoff must be non-negative")
+        if self.coll_reelect_after < 1:
+            raise ValueError("coll_reelect_after must be >= 1")
         for win in self.server_crashes:
             if len(win) != 3:
                 raise ValueError(
@@ -218,6 +228,8 @@ class FaultInjector:
         self.timeouts = 0
         self.failovers = 0
         self.exhausted = 0
+        self.coll_resends = 0
+        self.coll_reelections = 0
 
     @property
     def armed(self) -> bool:
@@ -248,6 +260,8 @@ class FaultInjector:
             "timeouts": self.timeouts,
             "failovers": self.failovers,
             "exhausted": self.exhausted,
+            "coll_resends": self.coll_resends,
+            "coll_reelections": self.coll_reelections,
         }
 
     # ------------------------------------------------------------------
@@ -409,6 +423,49 @@ class FaultInjector:
             req_id=req.req_id, server=req.server, attempts=attempts,
         )
 
+    # ------------------------------------------------------------------
+    # collective failover (called by the collective ack/handoff layer)
+    # ------------------------------------------------------------------
+    def coll_resend(
+        self, client: str, server: int, round_no: int,
+        attempt: int, *, kind: str, trace_id: int = -1, span=None,
+    ) -> None:
+        """A collective data segment was resent (write) or re-fetched
+        (read) after its per-(round, server) ack timed out."""
+        self.coll_resends += 1
+        self._record(
+            "coll.resend", client,
+            trace_id=trace_id, parent=span,
+            server=server, round=round_no, attempt=attempt, what=kind,
+        )
+
+    def coll_reelection(
+        self, client: str, server: int, from_agg: int, to_agg: int,
+        rounds: int, *, trace_id: int = -1, span=None,
+    ) -> None:
+        """An aggregator's rounds were handed to a surviving candidate
+        after its composite request timed out past the ladder."""
+        self.coll_reelections += 1
+        self._record(
+            "coll.reelect", client,
+            trace_id=trace_id, parent=span,
+            server=server, from_agg=from_agg, to_agg=to_agg,
+            rounds=rounds,
+        )
+
+    def coll_exhausted(
+        self, client: str, server: int, round_no: int, attempts: int,
+        *, trace_id: int = -1, span=None,
+    ) -> None:
+        """Every resend of a collective segment timed out (the caller
+        raises :class:`~repro.pvfs.errors.RetriesExhausted`)."""
+        self.exhausted += 1
+        self._record(
+            "rpc.exhausted", client,
+            trace_id=trace_id, parent=span,
+            req_id=-1, server=server, round=round_no, attempts=attempts,
+        )
+
 
 class NullFaults:
     """Disarmed fault injection: every site is a no-op behind
@@ -448,6 +505,17 @@ class NullFaults:
         pass
 
     def rpc_exhausted(self, client, req, attempts, span=None) -> None:
+        pass
+
+    def coll_resend(self, client, server, round_no, attempt, **kw) -> None:
+        pass
+
+    def coll_reelection(
+        self, client, server, from_agg, to_agg, rounds, **kw
+    ) -> None:
+        pass
+
+    def coll_exhausted(self, client, server, round_no, attempts, **kw) -> None:
         pass
 
 

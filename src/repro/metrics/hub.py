@@ -105,6 +105,9 @@ class MetricsHub:
         # without collectives export no repro_collective_* families
         self._c_coll_views = None
         self._c_coll_saved = None
+        # collective fault-tolerance instruments (armed fault configs)
+        self._c_coll_resends = None
+        self._c_coll_reelects = None
         # multi-tenant instruments, created lazily per tenant so a
         # single-tenant run exports no repro_tenant_* families at all
         self._tenant_names: Optional[list[str]] = None
@@ -296,6 +299,30 @@ class MetricsHub:
         self._c_coll_views.inc(views_merged)
         self._c_coll_saved.inc(requests_saved)
 
+    def coll_resend(self) -> None:
+        """One collective segment resent/re-fetched after an ack timeout."""
+        c = self._c_coll_resends
+        if c is None:
+            c = self.registry.counter(
+                "repro_coll_resends",
+                "Collective data segments resent (write) or re-fetched "
+                "(read) after a per-round ack timeout",
+            )
+            self._c_coll_resends = c
+        c.inc()
+
+    def coll_reelect(self) -> None:
+        """One aggregator re-election (rounds handed to a survivor)."""
+        c = self._c_coll_reelects
+        if c is None:
+            c = self.registry.counter(
+                "repro_coll_reelections",
+                "Collective aggregator re-elections after a composite "
+                "request timed out past the escalation ladder",
+            )
+            self._c_coll_reelects = c
+        c.inc()
+
     # ------------------------------------------------------------------
     # periodic sampling (engine clock hook)
     # ------------------------------------------------------------------
@@ -446,6 +473,12 @@ class NullMetrics:
         pass
 
     def collective(self, views_merged, requests_saved) -> None:
+        pass
+
+    def coll_resend(self) -> None:
+        pass
+
+    def coll_reelect(self) -> None:
         pass
 
     def on_clock(self, prev_now, next_t) -> None:

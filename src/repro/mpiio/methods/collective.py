@@ -35,9 +35,26 @@ produced by the PR-7 vectorized dataloop walk directly — the redundant
 ROMIO-style flatten-to-offset/length-lists pass (``charge_flatten``) is
 skipped, which is most of the win on FLASH-like noncontiguous memory.
 
-Fault injection is not supported underneath collective datatype I/O
-(segments are not individually retried); the faults bench keeps
-exercising the five independent paths.
+Fault tolerance (armed fault configs only; the fault-free path is
+bit-identical with and without this machinery):
+
+* every write segment is acknowledged per (round, server)
+  (:class:`~repro.pvfs.protocol.CollAck`) and resent idempotently on an
+  RTO ladder; servers dedup replayed rounds by (coll id, round) and
+  re-ack from the done-ring;
+* lost read scatter segments are re-fetched
+  (:class:`~repro.pvfs.protocol.CollFetch`) from the server's retained
+  scatter buffer;
+* an aggregator whose server times out past
+  ``FaultConfig.coll_reelect_after`` hands its rounds to the next
+  surviving aggregator slot (deterministic ring election through the
+  shared :class:`~repro.pvfs.collective.CollRecovery` state);
+  :class:`~repro.pvfs.errors.RetriesExhausted` surfaces only when every
+  candidate is dead and the ladder is spent.
+
+The recovery engine lives in ``PVFSClient.coll_complete``; the closing
+barrier is preceded by a completion gate so no aggregator leaves while
+re-elected work is outstanding anywhere.
 """
 
 from __future__ import annotations
@@ -45,6 +62,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...dataloops import wire_size
+from ...pvfs.collective import CollRecovery
 from ...pvfs.protocol import OP_COLL, CollOp, CollPart, CollSegment, IORequest
 from ...regions import Regions
 from ..adio import AccessMethod, register_method
@@ -224,11 +242,68 @@ def _collective_op(op):
         round_cuts(r_[_NBYTES], hints.coll_round_bytes, hints.coll_drain_bytes)
         for r_ in records
     ]
+    my_agg = agg_ranks.index(comm.rank) if comm.rank in agg_ranks else None
+
+    # ---- failover state (armed fault configs only; pure Python
+    # bookkeeping, no simulated time — the fault-free path is
+    # bit-identical with ft False)
+    faults = fs.system.faults
+    ft = faults.enabled and faults.armed
+    rec_state = None
+    if ft:
+
+        def _build_request(server: int, rno: int) -> IORequest:
+            # rebuild the aggregated descriptor for one (server, round)
+            # from the allgathered records — identical on every rank.
+            # Views go ON the wire: the adopting aggregator never
+            # shipped them to this server before.
+            parts = []
+            for i, r_ in enumerate(records):
+                m = r_[_MAT]
+                if rno >= m.shape[0] or m[rno, server] == 0:
+                    continue
+                c_ = rank_cuts[i]
+                parts.append(
+                    CollPart(
+                        client=r_[_NAME],
+                        reply_to=r_[_MBOX],
+                        view=rank_view[i],
+                        displacement=r_[_DISP],
+                        first=r_[_FIRST] + c_[rno],
+                        last=r_[_FIRST] + c_[rno + 1],
+                        nbytes=int(m[rno, server]),
+                    )
+                )
+            return IORequest(
+                handle=fh.handle,
+                is_write=op.is_write,
+                op_kind=OP_COLL,
+                coll=CollOp(
+                    coll_id=coll_id,
+                    round_no=rno,
+                    rounds=max_rounds,
+                    views=views,
+                    parts=tuple(parts),
+                    views_on_wire=True,
+                ),
+                payload_nbytes=int(totals[rno, server]),
+                phantom=op.phantom,
+                server=server,
+            )
+
+        rec_state = fs.system.coll_recovery.setdefault(
+            coll_id,
+            CollRecovery(coll_id, n_agg, tuple(agg_ranks), _build_request),
+        )
+        if my_agg is not None:
+            # registered before any request is posted (and hence before
+            # any timeout can elect), so a handoff target is always
+            # addressable
+            rec_state.mailboxes[my_agg] = fs.mailbox
 
     # ---- aggregator role: one request per owned (server, round)
     reqs = []
-    if comm.rank in agg_ranks:
-        my_agg = agg_ranks.index(comm.rank)
+    if my_agg is not None:
         for s in range(n_servers):
             if s % n_agg != my_agg:
                 continue
@@ -293,6 +368,7 @@ def _collective_op(op):
     # Each rank starts a round at a different server (rotated by rank)
     # so the paced sends spread over all server NICs instead of
     # convoying on server 0.
+    sent_segs: dict = {}
     if op.is_write:
         for r in range(R):
             base = cuts[r]
@@ -312,18 +388,40 @@ def _collective_op(op):
                 if span is not None:
                     seg.trace_id = span.trace_id
                     seg.trace_parent = span.span_id
+                if ft:
+                    # ack-ladder bookkeeping: the server acks this
+                    # (round, server) to our mailbox once applied
+                    seg.reply_to = fs.mailbox
+                    sent_segs[(server, r)] = seg
                 yield from fs.coll_send_segment(server, seg)
         fs.counters.bytes_written += nbytes
 
-    if posted is not None:
+    segs: dict = {}
+    if ft:
+        expected = None
+        if not op.is_write:
+            expected = [
+                (s, r) for r in range(R) for s in rsplits[r] if mat[r, s] > 0
+            ]
+        _, segs = yield from fs.coll_complete(
+            rec_state,
+            sent_segs=sent_segs or None,
+            expect=expected,
+            requests=reqs,
+            posted=posted,
+            my_agg=my_agg,
+            span=span or op.span,
+        )
+    elif posted is not None:
         yield from fs.coll_finish(reqs, posted)
 
     # ---- data path (reads): collect this rank's segments and scatter
     if not op.is_write:
-        expected = [
-            (s, r) for r in range(R) for s in rsplits[r] if mat[r, s] > 0
-        ]
-        segs = yield from fs.coll_collect(coll_id, expected)
+        if not ft:
+            expected = [
+                (s, r) for r in range(R) for s in rsplits[r] if mat[r, s] > 0
+            ]
+            segs = yield from fs.coll_collect(coll_id, expected)
         out = None if op.phantom else np.zeros(nbytes, dtype=np.uint8)
         if out is not None:
             for (s, r), seg in segs.items():
@@ -354,8 +452,18 @@ def _collective_op(op):
         )
 
     # collective semantics: nobody returns before the data is on the
-    # servers (aggregators arrive here only after every round's ack)
+    # servers (aggregators arrive here only after every round's ack).
+    # Under armed faults, aggregators additionally hold at the
+    # completion gate until no re-elected work is outstanding anywhere
+    # — a rank parked at the barrier stops servicing its mailbox, and
+    # a handoff stranded there would deadlock the survivors.
+    if ft and my_agg is not None:
+        yield from fs.coll_gate(rec_state, my_agg=my_agg, span=span or op.span)
     yield from comm.barrier()
+    if ft and comm.rank == 0:
+        # every rank is past the gate once the barrier releases; the
+        # shared failover state is dead weight after that
+        fs.system.coll_recovery.pop(coll_id, None)
 
 
 def collective_read(op):

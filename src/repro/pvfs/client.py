@@ -33,6 +33,7 @@ import numpy as np
 
 from ..dataloops import Dataloop, DataloopStream
 from ..regions import Regions
+from .collective import CollHandoff, CollRecovery, _CollWake
 from .distribution import Distribution
 from .errors import PVFSError, RetriesExhausted
 from .jobs import Job, build_jobs
@@ -40,6 +41,8 @@ from .protocol import (
     OP_CONTIG,
     OP_DTYPE,
     OP_LIST,
+    CollAck,
+    CollFetch,
     CollSegment,
     DataloopWindow,
     IORequest,
@@ -162,6 +165,12 @@ class PVFSClient:
         # request ids already answered — late or duplicated responses
         # (fault injection) are discarded instead of stashed
         self._done_reqs: set[int] = set()
+        # collective fault tolerance (armed configs): write-round acks
+        # that surfaced while another wait held the mailbox, keyed
+        # (coll_id, server, round), and re-election handoffs awaiting
+        # service by this rank
+        self._coll_acks: set[tuple] = set()
+        self._coll_handoffs: list[CollHandoff] = []
 
     # ------------------------------------------------------------------
     # metadata operations
@@ -227,11 +236,21 @@ class PVFSClient:
                     if msg.live:
                         held.append(msg)
                     continue
+                if isinstance(msg, CollHandoff):
+                    self._coll_handoffs.append(msg)
+                    continue
+                if isinstance(msg, _CollWake):
+                    continue
                 yield env.timeout(costs.per_message_cpu)
                 resp = msg.payload
                 if isinstance(resp, CollSegment):
                     key = (resp.coll_id, resp.server, resp.round_no)
                     self._coll_stash[key] = resp
+                    continue
+                if isinstance(resp, CollAck):
+                    self._coll_acks.add(
+                        (resp.coll_id, resp.server, resp.round_no)
+                    )
                     continue
                 rid = getattr(resp, "req_id", None)
                 if rid == req_id:
@@ -274,11 +293,21 @@ class PVFSClient:
                     if msg.live:
                         held.append(msg)
                     continue
+                if isinstance(msg, CollHandoff):
+                    self._coll_handoffs.append(msg)
+                    continue
+                if isinstance(msg, _CollWake):
+                    continue
                 yield env.timeout(costs.per_message_cpu)
                 resp = msg.payload
                 if isinstance(resp, CollSegment):
                     key = (resp.coll_id, resp.server, resp.round_no)
                     self._coll_stash[key] = resp
+                    continue
+                if isinstance(resp, CollAck):
+                    self._coll_acks.add(
+                        (resp.coll_id, resp.server, resp.round_no)
+                    )
                     continue
                 rid = getattr(resp, "req_id", None)
                 if rid == req_id:
@@ -849,9 +878,11 @@ class PVFSClient:
         """Ship one collective data segment straight to a server.
 
         Segments are data-path messages: a fixed header plus the round
-        slice of this rank's packed stream.  They are not individually
-        retried (the aggregated request is the control path), so they
-        stay outside the fault injector's drop set.  Flow control is a
+        slice of this rank's packed stream.  They sit inside the fault
+        injector's drop set (a no-op unless a non-inert config is
+        armed); recovery is the per-(round, server) ack ladder of
+        :meth:`coll_complete`, which resends idempotently — the server
+        dedups replayed rounds by (coll id, round).  Flow control is a
         sliding window of :data:`COLL_SEND_WINDOW` in-flight segments
         *per server socket*: an unpaced blast would order the whole
         run's bytes by send-initiation time (letting an early-starting
@@ -876,7 +907,7 @@ class PVFSClient:
             seg.wire_bytes(costs),
             payload=seg,
             pace=False,
-            faultable=False,
+            faultable=True,
         )
         window.append(end)
 
@@ -906,6 +937,11 @@ class PVFSClient:
                     if msg.live:
                         held.append(msg)
                     continue
+                if isinstance(msg, CollHandoff):
+                    self._coll_handoffs.append(msg)
+                    continue
+                if isinstance(msg, _CollWake):
+                    continue
                 yield env.timeout(costs.per_message_cpu)
                 resp = msg.payload
                 if isinstance(resp, CollSegment):
@@ -915,6 +951,11 @@ class PVFSClient:
                         want.discard(key)
                     else:
                         self._coll_stash[key] = resp
+                    continue
+                if isinstance(resp, CollAck):
+                    self._coll_acks.add(
+                        (resp.coll_id, resp.server, resp.round_no)
+                    )
                     continue
                 rid = getattr(resp, "req_id", None)
                 if rid not in self._done_reqs:
@@ -1003,6 +1044,446 @@ class PVFSClient:
                     tracer.end(rpc, nbytes=resp.nbytes)
                 break
         return responses
+
+    # ------------------------------------------------------------------
+    # collective fault tolerance (armed fault configs only)
+    # ------------------------------------------------------------------
+    def _coll_recv(self, abs_deadline: float):
+        """Receive one mailbox item before an absolute deadline.
+
+        Returns the unwrapped payload for wire traffic (charging the
+        per-message CPU), the raw marker for zero-cost shared-state
+        signals (:class:`CollHandoff`, ``_CollWake``), or ``None`` once
+        the deadline passes.  Live foreign timeout markers are held and
+        re-queued on exit, exactly as in :meth:`_await_response`.
+        """
+        env = self.system.env
+        costs = self.system.costs
+        if abs_deadline <= env.now:
+            return None
+        marker = _TimeoutMarker(-1)
+
+        def _fire(_ev, m=marker):
+            if m.live:
+                self.mailbox._store.put(m)
+
+        timer = env.call_later(abs_deadline - env.now, _fire)
+        held: list[_TimeoutMarker] = []
+        try:
+            while True:
+                msg = yield self.mailbox.get()
+                if isinstance(msg, _TimeoutMarker):
+                    if msg is marker:
+                        return None
+                    if msg.live:
+                        held.append(msg)
+                    continue
+                if isinstance(msg, (CollHandoff, _CollWake)):
+                    return msg
+                yield env.timeout(costs.per_message_cpu)
+                return msg.payload
+        finally:
+            marker.live = False
+            timer.cancel()
+            for m in held:
+                if m.live:
+                    self.mailbox._store.put(m)
+
+    def coll_complete(
+        self,
+        rec: CollRecovery,
+        *,
+        sent_segs=None,
+        expect=None,
+        requests: Sequence[IORequest] = (),
+        posted=None,
+        my_agg: Optional[int] = None,
+        span=None,
+        handoff: Optional[CollHandoff] = None,
+    ):
+        """Fault-tolerant completion engine for one rank's collective.
+
+        One unified RTO loop drives every outstanding obligation of
+        this rank — reusing the PR-5 timeout/backoff/dedup machinery,
+        but over *all* items at once rather than request-by-request,
+        because the collective's recovery paths are interdependent: a
+        composite request completes only when every rank's segment is
+        in, and a rank's segment ack arrives only after some aggregator
+        re-delivers the round's request.  Sequential per-item waits
+        would deadlock on exactly the fault patterns this exists for.
+
+        * ``sent_segs`` — ``{(server, round): CollSegment}`` this rank
+          streamed for a write; each entry waits for its
+          :class:`CollAck` and is resent (idempotently — the server
+          dedups by (coll id, round), and a replay of a completed round
+          is re-acknowledged from the done-ring) on an RTO ladder.
+        * ``expect`` — ``(server, round)`` read segments owed to this
+          rank; an overdue entry sends a :class:`CollFetch`, served
+          from the server's retained scatter buffer.
+        * ``requests``/``posted`` — the aggregator role's composite
+          requests (from :meth:`coll_post`): the PR-5 ladder plus
+          **aggregator re-election** — at ``coll_reelect_after``
+          consecutive timeouts the rounds are handed to the next
+          surviving aggregator slot (deterministic ring scan), and
+          :class:`RetriesExhausted` surfaces only once every candidate
+          slot is dead and the ladder is spent.
+
+        Returns ``(responses, segments)``.  Every deadline doubles per
+        consecutive timeout and every resend backs off exponentially,
+        so a crash window either ends inside the ladder or the run
+        fails typed — never a hang.
+        """
+        env = self.system.env
+        cfg = self.system.config
+        costs = self.system.costs
+        net = self.system.net
+        tracer = self.system.tracer
+        metrics = self.system.metrics
+        faults = self.system.faults
+        fcfg = faults.config
+        base = fcfg.rpc_timeout
+        eps = 1e-12
+
+        t_sent, rpc_spans = posted if posted is not None else ({}, {})
+        responses: dict[int, IOResponse] = {}
+        got: dict[tuple, CollSegment] = {}
+
+        # pending items; deadlines are absolute simulated instants
+        acks: dict[tuple, list] = {}  # (srv, rnd) -> [attempts, deadline, seg]
+        fetches: dict[tuple, list] = {}  # (srv, rnd) -> [attempts, deadline]
+        reqs: dict[int, list] = {}  # req_id -> [attempts, deadline, req, hctr]
+
+        now = env.now
+        if sent_segs:
+            for (server, rno), seg in sent_segs.items():
+                if (rec.coll_id, server, rno) in self._coll_acks:
+                    self._coll_acks.discard((rec.coll_id, server, rno))
+                    continue
+                acks[(server, rno)] = [0, now + base, seg]
+        if expect:
+            for server, rno in expect:
+                seg = self._coll_stash.pop((rec.coll_id, server, rno), None)
+                if seg is not None:
+                    got[(server, rno)] = seg
+                    continue
+                fetches[(server, rno)] = [0, now + base]
+        for req in requests:
+            reqs[req.req_id] = [0, now + base, req, None]
+
+        tid = span.trace_id if span is not None else -1
+        pid = span.span_id if span is not None else -1
+
+        def _integrate(h: CollHandoff):
+            """Adopt a re-election handoff: rebuild and post its rounds
+            (views on the wire — this rank never shipped them)."""
+            built = []
+            for rno in h.rounds:
+                req = rec.build_request(h.server, rno)
+                req.req_id = self._req_id()
+                req.reply_to = self.mailbox
+                req.client = self.name
+                req.tenant = self.tenant
+                built.append(req)
+            if not built:
+                rec.pending_handoffs -= 1
+                rec.maybe_release()
+                return
+            yield env.timeout(costs.fs_op_client_cost)
+            ts, sp = yield from self.coll_post(built, span)
+            t_sent.update(ts)
+            rpc_spans.update(sp)
+            counter = [len(built)]
+            t = env.now + base
+            for req in built:
+                reqs[req.req_id] = [0, t, req, counter]
+
+        def _resolve_handoff(st):
+            counter = st[3]
+            if counter is not None:
+                counter[0] -= 1
+                if counter[0] == 0:
+                    rec.pending_handoffs -= 1
+                    rec.maybe_release()
+
+        def _exhaust(server, rno, attempts, what):
+            faults.coll_exhausted(
+                self.name, server, rno, attempts, trace_id=tid, span=span
+            )
+            raise RetriesExhausted(
+                f"collective {what} for round {rno} on iod{server} from "
+                f"{self.name} gave up after {attempts} timeouts",
+                job_id=-1,
+                server=server,
+                client=self.name,
+                attempts=attempts,
+            )
+
+        if handoff is not None:
+            yield from _integrate(handoff)
+
+        while acks or fetches or reqs or self._coll_handoffs:
+            while self._coll_handoffs:
+                yield from _integrate(self._coll_handoffs.pop(0))
+            if not (acks or fetches or reqs):
+                break
+            deadline = min(
+                min((st[1] for st in acks.values()), default=float("inf")),
+                min((st[1] for st in fetches.values()), default=float("inf")),
+                min((st[1] for st in reqs.values()), default=float("inf")),
+            )
+            msg = yield from self._coll_recv(deadline)
+            if msg is None:
+                # ---- deadline: escalate every overdue item
+                now = env.now + eps
+                for key in [k for k, st in acks.items() if st[1] <= now]:
+                    st = acks[key]
+                    st[0] += 1
+                    if st[0] > fcfg.max_retries:
+                        _exhaust(key[0], key[1], st[0], "write ack")
+                    backoff = fcfg.retry_backoff * (2 ** (st[0] - 1))
+                    if backoff > 0:
+                        yield env.timeout(backoff)
+                    faults.coll_resend(
+                        self.name, key[0], key[1], st[0],
+                        kind="segment", trace_id=tid, span=span,
+                    )
+                    if metrics.enabled:
+                        metrics.coll_resend()
+                    yield from self.coll_send_segment(key[0], st[2])
+                    st[1] = env.now + base * (2 ** min(st[0], 20))
+                for key in [k for k, st in fetches.items() if st[1] <= now]:
+                    st = fetches[key]
+                    st[0] += 1
+                    if st[0] > fcfg.max_retries:
+                        _exhaust(key[0], key[1], st[0], "read segment")
+                    backoff = fcfg.retry_backoff * (2 ** (st[0] - 1))
+                    if backoff > 0:
+                        yield env.timeout(backoff)
+                    faults.coll_resend(
+                        self.name, key[0], key[1], st[0],
+                        kind="fetch", trace_id=tid, span=span,
+                    )
+                    if metrics.enabled:
+                        metrics.coll_resend()
+                    fetch = CollFetch(
+                        rec.coll_id, key[1], key[0], self.name,
+                        reply_to=self.mailbox,
+                        trace_id=tid, trace_parent=pid,
+                    )
+                    self.counters.requests_sent += 1
+                    self.counters.request_desc_bytes += costs.header_bytes
+                    yield from net.send(
+                        self.mailbox,
+                        self.system.servers[key[0]].mailbox,
+                        fetch.wire_bytes(costs),
+                        payload=fetch,
+                        pace=False,
+                        faultable=True,
+                    )
+                    st[1] = env.now + base * (2 ** min(st[0], 20))
+                for rid in [r for r, st in reqs.items() if st[1] <= now]:
+                    st = reqs.get(rid)
+                    if st is None:
+                        continue  # moved by a re-election this same pass
+                    st[0] += 1
+                    req = st[2]
+                    rpc = rpc_spans.get(rid)
+                    self.counters.timeouts += 1
+                    if metrics.enabled:
+                        metrics.timeout()
+                    faults.rpc_timeout(self.name, req, st[0], rpc)
+                    if (
+                        my_agg is not None
+                        and st[0] >= fcfg.coll_reelect_after
+                    ):
+                        cand = rec.elect(my_agg)
+                        if cand is not None:
+                            self._coll_reelect(
+                                rec, my_agg, cand, req.server,
+                                reqs, rpc_spans, span,
+                            )
+                            continue
+                    if st[0] > fcfg.max_retries:
+                        faults.rpc_exhausted(self.name, req, st[0], rpc)
+                        err = (
+                            f"server iod{req.server} unresponsive: "
+                            f"collective request {rid} from {self.name} "
+                            f"gave up after {st[0]} timeouts"
+                        )
+                        if rpc is not None:
+                            tracer.end(rpc, error=err)
+                        raise RetriesExhausted(
+                            err, job_id=rid, server=req.server,
+                            client=self.name, attempts=st[0],
+                        )
+                    backoff = fcfg.retry_backoff * (2 ** (st[0] - 1))
+                    if backoff > 0:
+                        yield env.timeout(backoff)
+                    yield from self._send_io(req)
+                    st[1] = env.now + base * (2 ** min(st[0], 20))
+                continue
+            # ---- arrivals
+            if isinstance(msg, CollHandoff):
+                yield from _integrate(msg)
+                continue
+            if isinstance(msg, _CollWake):
+                continue
+            if isinstance(msg, CollAck):
+                if msg.coll_id == rec.coll_id:
+                    acks.pop((msg.server, msg.round_no), None)
+                else:
+                    self._coll_acks.add(
+                        (msg.coll_id, msg.server, msg.round_no)
+                    )
+                continue
+            if isinstance(msg, CollSegment):
+                key = (msg.server, msg.round_no)
+                if msg.coll_id == rec.coll_id:
+                    if key in fetches:
+                        del fetches[key]
+                        got[key] = msg
+                    # else: duplicate of an already-received round
+                else:
+                    self._coll_stash[
+                        (msg.coll_id, msg.server, msg.round_no)
+                    ] = msg
+                continue
+            resp = msg
+            rid = getattr(resp, "req_id", None)
+            st = reqs.get(rid)
+            if st is None:
+                if rid not in self._done_reqs:
+                    self._resp_stash[rid] = resp
+                continue
+            req = st[2]
+            rpc = rpc_spans.get(rid)
+            if resp.rejected:
+                self.counters.retries += 1
+                if metrics.enabled:
+                    metrics.retry()
+                if rpc is not None:
+                    rpc.attrs["retries"] = rpc.attrs.get("retries", 0) + 1
+                if cfg.server_retry_backoff > 0:
+                    yield env.timeout(cfg.server_retry_backoff)
+                yield from self._send_io(req)
+                st[1] = env.now + base * (2 ** min(st[0], 20))
+                continue
+            if resp.error:
+                if rpc is not None:
+                    tracer.end(rpc, error=resp.error)
+                raise PVFSError(resp.error)
+            del reqs[rid]
+            self._done_reqs.add(rid)
+            responses[rid] = resp
+            if st[0]:
+                self.counters.failovers += 1
+                if metrics.enabled:
+                    metrics.failover()
+                faults.rpc_failover(self.name, req, st[0], rpc)
+            if metrics.enabled and rid in t_sent:
+                metrics.observe_rpc(env.now - t_sent[rid], req.op_kind)
+            if rpc is not None:
+                tracer.end(rpc, nbytes=resp.nbytes, timeouts=st[0])
+            _resolve_handoff(st)
+        return responses, got
+
+    def _coll_reelect(
+        self, rec: CollRecovery, from_agg: int, to_agg: int, server: int,
+        reqs: dict, rpc_spans: dict, span,
+    ) -> None:
+        """Hand every pending composite request for ``server`` to the
+        elected surviving aggregator slot.
+
+        Pure shared-state bookkeeping (the handoff marker models a
+        local failure-detector signal, like the client's own timeout
+        markers — no wire traffic, no simulated time): the moved
+        request ids are marked done so late responses are discarded,
+        their rpc spans closed, and ``pending_handoffs`` incremented
+        *before* the marker lands so the completion gate can never
+        release between the two.
+        """
+        tracer = self.system.tracer
+        metrics = self.system.metrics
+        faults = self.system.faults
+        rec.dead.add(from_agg)
+        moved = [
+            (rid, st) for rid, st in reqs.items() if st[2].server == server
+        ]
+        rounds = sorted(st[2].coll.round_no for _, st in moved)
+        rec.pending_handoffs += 1
+        for rid, st in moved:
+            del reqs[rid]
+            self._done_reqs.add(rid)
+            rpc = rpc_spans.pop(rid, None)
+            if rpc is not None:
+                tracer.end(rpc, reelected=True, timeouts=st[0])
+            counter = st[3]
+            if counter is not None:
+                # a handed-off handoff releases its old counter (the
+                # fresh pending_handoffs above keeps the gate closed)
+                counter[0] -= 1
+                if counter[0] == 0:
+                    rec.pending_handoffs -= 1
+        faults.coll_reelection(
+            self.name, server, from_agg, to_agg, len(rounds),
+            trace_id=span.trace_id if span is not None else -1, span=span,
+        )
+        if metrics.enabled:
+            metrics.coll_reelect()
+        rec.mailboxes[to_agg]._store.put(
+            CollHandoff(rec, server, rounds, from_agg)
+        )
+
+    def coll_gate(self, rec: CollRecovery, my_agg=None, span=None):
+        """Completion gate for aggregator ranks (armed faults only).
+
+        Collective semantics require that no aggregator leaves while
+        re-elected work is outstanding anywhere: a rank already at the
+        closing barrier stops servicing its mailbox, and a handoff
+        parked there would strand the surviving aggregators' rounds.
+        Each aggregator therefore *arrives* here and keeps serving
+        stray traffic (late duplicates, re-election handoffs) until
+        every aggregator has arrived and no handoff is pending; the
+        releasing rank drops a zero-cost wake marker into every
+        waiter's mailbox.  Non-aggregator ranks never take handoffs
+        and go straight to the barrier.
+        """
+        env = self.system.env
+        costs = self.system.costs
+        while self._coll_handoffs:
+            yield from self.coll_complete(
+                rec, my_agg=my_agg, span=span,
+                handoff=self._coll_handoffs.pop(0),
+            )
+        rec.arrive(self.name, self.mailbox)
+        while not rec.done:
+            msg = yield self.mailbox.get()
+            if isinstance(msg, _TimeoutMarker):
+                continue  # a finished wait's dead marker
+            if isinstance(msg, _CollWake):
+                continue  # loop condition re-checks rec.done
+            if isinstance(msg, CollHandoff):
+                yield from self.coll_complete(
+                    rec, my_agg=my_agg, span=span, handoff=msg,
+                )
+                continue
+            yield env.timeout(costs.per_message_cpu)
+            resp = msg.payload
+            if isinstance(resp, CollSegment):
+                if resp.coll_id != rec.coll_id:
+                    self._coll_stash[
+                        (resp.coll_id, resp.server, resp.round_no)
+                    ] = resp
+                continue
+            if isinstance(resp, CollAck):
+                if resp.coll_id != rec.coll_id:
+                    self._coll_acks.add(
+                        (resp.coll_id, resp.server, resp.round_no)
+                    )
+                continue
+            rid = getattr(resp, "req_id", None)
+            if rid not in self._done_reqs:
+                self._resp_stash[rid] = resp
 
     def _io_round(self, requests, span=None):
         """Send all requests, then collect every response.

@@ -1,4 +1,4 @@
-"""Server-side assembly state for collective datatype I/O.
+"""Server-side assembly state and failover plumbing for collective I/O.
 
 A collective write round reaches a server as one aggregated
 :class:`~repro.pvfs.protocol.IORequest` (control path, from the
@@ -9,31 +9,40 @@ arrives first: :class:`CollectiveState` keys both on
 ``(coll_id, round_no)`` and releases the request to the scheduler the
 moment the round's last expected segment is in.
 
-Completed rounds are retained briefly (``keep_done``) so an idempotent
-resend of the request — after an admission rejection or a fault-layer
-drop — still finds its payload.
+Completed rounds are retained (``keep_done``) so an idempotent resend
+of the request — after an admission rejection or a fault-layer drop —
+still finds its payload, and (armed fault configs only) so a replayed
+write segment can be re-acknowledged and a lost read scatter segment
+re-fetched (:class:`~repro.pvfs.protocol.CollFetch`) without charging
+the expansion pipeline twice.
+
+:class:`CollRecovery` is the client-side shared state of one
+collective's fault story: the surviving-aggregator ladder, handoff
+bookkeeping, and the completion gate that keeps every aggregator rank
+servicing its mailbox until no re-elected work remains anywhere.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover
     from .protocol import CollOp, CollSegment
 
-__all__ = ["CollectiveState"]
+__all__ = ["CollectiveState", "CollRecovery", "CollHandoff", "_CollWake"]
 
 
 class _Round:
-    __slots__ = ("segments", "msg", "expected")
+    __slots__ = ("segments", "msg", "expected", "resp")
 
     def __init__(self):
         self.segments: dict[str, "CollSegment"] = {}
         self.msg = None  # parked request message, if any
         self.expected: Optional[frozenset] = None
+        self.resp = None  # retained write response (resend replay)
 
 
 class CollectiveState:
@@ -41,8 +50,16 @@ class CollectiveState:
 
     def __init__(self, keep_done: int = 4):
         self._rounds: dict[tuple, _Round] = {}
-        self._done: deque = deque()
+        self._done: dict[tuple, _Round] = {}
+        self._done_order: deque = deque()
         self.keep_done = keep_done
+        # Read-side retransmit buffer (armed fault configs only):
+        # (coll_id, round_no, client) -> the scatter CollSegment, so a
+        # CollFetch after a dropped delivery is served from memory
+        # instead of re-running the expansion pipeline.
+        self._read_cache: dict[tuple, "CollSegment"] = {}
+        self._read_order: deque = deque()
+        self.keep_reads = 4096
 
     def _round(self, key: tuple) -> _Round:
         e = self._rounds.get(key)
@@ -55,12 +72,21 @@ class CollectiveState:
         return e.expected is not None and e.expected <= e.segments.keys()
 
     # ------------------------------------------------------------------
+    def done_round(self, key: tuple) -> Optional[_Round]:
+        """The retained state of an already-served write round, if any."""
+        return self._done.get(key)
+
     def ingest_segment(self, seg: "CollSegment"):
         """File one rank's data segment.
 
         Returns the parked request *message* when this segment completes
-        a waiting round (the caller submits it), else ``None``.
+        a waiting round (the caller submits it), else ``None``.  A
+        segment replayed for an already-retired round is ignored — the
+        caller re-acknowledges it from :meth:`done_round` instead of
+        letting a ghost duplicate grow a fresh half-round entry.
         """
+        if (seg.coll_id, seg.round_no) in self._done:
+            return None
         e = self._round((seg.coll_id, seg.round_no))
         e.segments[seg.client] = seg
         if e.msg is not None and self._complete(e):
@@ -76,9 +102,8 @@ class CollectiveState:
         """
         c: "CollOp" = req.coll
         key = (c.coll_id, c.round_no)
-        for done_key, done_e in self._done:
-            if done_key == key:
-                return False  # idempotent resend of a completed round
+        if key in self._done:
+            return False  # idempotent resend of a completed round
         e = self._round(key)
         e.expected = frozenset(p.client for p in c.parts)
         if self._complete(e):
@@ -91,10 +116,7 @@ class CollectiveState:
         e = self._rounds.get(key)
         if e is not None:
             return e
-        for done_key, done_e in self._done:
-            if done_key == key:
-                return done_e
-        return None
+        return self._done.get(key)
 
     def assemble_payload(self, c: "CollOp") -> Optional[np.ndarray]:
         """Concatenate the round's segment payloads in participant
@@ -115,12 +137,128 @@ class CollectiveState:
             return payloads[0]
         return np.concatenate(payloads)
 
-    def retire(self, coll_id: tuple, round_no: int) -> None:
-        """Move a served write round to the bounded done-ring."""
+    def retire(self, coll_id: tuple, round_no: int, resp=None) -> None:
+        """Move a served write round to the bounded done-ring.
+
+        ``resp`` (the round's write response) is retained so an
+        idempotent request resend is answered by replaying it instead
+        of re-running the pipeline.
+        """
         key = (coll_id, round_no)
         e = self._rounds.pop(key, None)
         if e is None:
             return
-        self._done.append((key, e))
-        while len(self._done) > self.keep_done:
-            self._done.popleft()
+        e.resp = resp
+        self._done[key] = e
+        self._done_order.append(key)
+        while len(self._done_order) > self.keep_done:
+            self._done.pop(self._done_order.popleft(), None)
+
+    # ------------------------------------------------------------------
+    def cache_read_segment(self, seg: "CollSegment") -> None:
+        """Retain one scattered read segment for CollFetch service."""
+        key = (seg.coll_id, seg.round_no, seg.client)
+        if key not in self._read_cache:
+            self._read_order.append(key)
+        self._read_cache[key] = seg
+        while len(self._read_order) > self.keep_reads:
+            self._read_cache.pop(self._read_order.popleft(), None)
+
+    def fetch_read_segment(self, key: tuple) -> Optional["CollSegment"]:
+        return self._read_cache.get(key)
+
+
+class CollHandoff:
+    """Mailbox marker: re-elected rounds handed to this rank.
+
+    Dropped straight into the target aggregator's client mailbox (the
+    zero-cost shared-state channel — like the client's own timeout
+    markers, it models a local failure-detector signal, not wire
+    traffic).  The receiving rank rebuilds and re-issues the composite
+    requests for ``rounds`` on ``server``.
+    """
+
+    __slots__ = ("rec", "server", "rounds", "from_agg")
+
+    def __init__(self, rec: "CollRecovery", server: int, rounds, from_agg: int):
+        self.rec = rec
+        self.server = server
+        self.rounds = tuple(rounds)
+        self.from_agg = from_agg
+
+
+class _CollWake:
+    """Mailbox marker: re-check the collective completion gate."""
+
+    __slots__ = ("rec",)
+
+    def __init__(self, rec: "CollRecovery"):
+        self.rec = rec
+
+
+class CollRecovery:
+    """Shared per-collective failover state (one instance per coll_id).
+
+    Lives in ``PVFS.coll_recovery`` so every participating rank's
+    client sees the same aggregator death list, handoff counters and
+    completion gate.  Pure shared memory — ranks on one simulated
+    cluster coordinate through it exactly like the communicator's
+    barrier state.
+    """
+
+    def __init__(
+        self,
+        coll_id: tuple,
+        n_agg: int,
+        agg_ranks: tuple,
+        build_request: Callable[[int, int], Any],
+    ):
+        self.coll_id = coll_id
+        self.n_agg = n_agg
+        self.agg_ranks = tuple(agg_ranks)
+        #: ``build_request(server, round_no) -> IORequest`` — rebuilds
+        #: the aggregated descriptor for one (server, round) with views
+        #: on the wire (the new aggregator never shipped them before).
+        self.build_request = build_request
+        #: Aggregator slots whose requests timed out past the ladder.
+        self.dead: set[int] = set()
+        #: Aggregator slot -> that rank's client mailbox (registered by
+        #: every aggregator before any request is posted, so a handoff
+        #: target is always addressable).
+        self.mailboxes: dict[int, Any] = {}
+        #: Handoffs issued but not yet fully re-served.
+        self.pending_handoffs = 0
+        #: Aggregator ranks that reached the completion gate.
+        self.arrived = 0
+        #: Gate waiters: client name -> mailbox to drop a wake into.
+        self.waiting: dict[str, Any] = {}
+        self.done = False
+
+    def elect(self, from_agg: int) -> Optional[int]:
+        """The next surviving aggregator slot after ``from_agg``.
+
+        Deterministic: candidates are scanned in ring order from the
+        failed slot, so every rank derives the same winner without any
+        extra communication.  ``None`` when every slot is dead.
+        """
+        for k in range(1, self.n_agg):
+            cand = (from_agg + k) % self.n_agg
+            if cand not in self.dead:
+                return cand
+        return None
+
+    # ------------------------------------------------------------------
+    def arrive(self, client: str, mailbox) -> None:
+        self.arrived += 1
+        self.waiting[client] = mailbox
+        self.maybe_release()
+
+    def maybe_release(self) -> None:
+        """Release the gate when every aggregator arrived and no
+        re-elected work is still outstanding anywhere."""
+        if self.done:
+            return
+        if self.arrived >= self.n_agg and self.pending_handoffs == 0:
+            self.done = True
+            for mb in self.waiting.values():
+                mb._store.put(_CollWake(self))

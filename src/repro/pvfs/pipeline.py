@@ -54,6 +54,7 @@ from .protocol import (
     OP_CONTIG,
     OP_DTYPE,
     OP_LIST,
+    CollAck,
     CollSegment,
     DataloopWindow,
     IORequest,
@@ -366,13 +367,57 @@ class CollectiveHandler(RequestHandler):
         the participating ranks (one data segment each) and ack the
         aggregator with a header-only response."""
         c = req.coll
-        if req.is_write:
-            server.coll.retire(c.coll_id, c.round_no)
-            return resp
         costs = server.system.costs
         net = server.system.net
         env = server.system.env
         metrics = server.system.metrics
+        faults = server.system.faults
+        armed = faults.enabled and faults.armed
+        if req.is_write:
+            server.coll.retire(c.coll_id, c.round_no, resp)
+            if not armed:
+                return resp
+            # Per-(round, server) acknowledgements (fault tolerance):
+            # each rank's segment is confirmed applied, releasing its
+            # ack-ladder entry.  Accounted exactly like the read
+            # scatter — respond stage time plus one server.scatter
+            # span — so blame reconciliation stays exact.
+            t0 = env.now
+            for part in c.parts:
+                ack = CollAck(
+                    coll_id=c.coll_id,
+                    round_no=c.round_no,
+                    server=server.index,
+                    client=part.client,
+                )
+                if span is not None:
+                    ack.trace_id = req.trace_id
+                    ack.trace_parent = span.span_id
+                yield from net.send(
+                    server.mailbox,
+                    part.reply_to,
+                    ack.wire_bytes(costs),
+                    payload=ack,
+                    pace=False,
+                    faultable=True,
+                )
+            dt = env.now - t0
+            server.stage_times.respond += dt
+            if metrics.enabled:
+                metrics.observe_stage("respond", dt)
+            if span is not None:
+                server.system.tracer.add(
+                    "server.scatter",
+                    "server",
+                    f"iod{server.index}",
+                    t0,
+                    env.now,
+                    trace_id=req.trace_id,
+                    parent=span,
+                    nbytes=0,
+                    parts=len(c.parts),
+                )
+            return resp
         stream = resp.payload
         t0 = env.now
         off = 0
@@ -392,13 +437,17 @@ class CollectiveHandler(RequestHandler):
             if span is not None:
                 seg.trace_id = req.trace_id
                 seg.trace_parent = span.span_id
+            if armed:
+                # retain for CollFetch service (a dropped delivery is
+                # re-sent from memory, not re-expanded)
+                server.coll.cache_read_segment(seg)
             yield from net.send(
                 server.mailbox,
                 part.reply_to,
                 seg.wire_bytes(costs),
                 payload=seg,
                 pace=False,
-                faultable=False,
+                faultable=armed,
             )
         server.stage_times.respond += env.now - t0
         if metrics.enabled:

@@ -26,6 +26,8 @@ __all__ = [
     "CollOp",
     "CollPart",
     "CollSegment",
+    "CollAck",
+    "CollFetch",
     "OP_CONTIG",
     "OP_LIST",
     "OP_DTYPE",
@@ -164,9 +166,56 @@ class CollSegment:
     payload: Optional[np.ndarray] = None  # None = phantom
     trace_id: int = -1  # trace correlation (ints survive the wire)
     trace_parent: int = -1
+    #: Write-side only, armed fault configs: the sending rank's mailbox,
+    #: so the server can ack the segment (and re-ack a replay of an
+    #: already-retired round straight from its receive loop).
+    reply_to: Any = None
 
     def wire_bytes(self, costs) -> int:
         return costs.header_bytes + self.nbytes
+
+
+@dataclass
+class CollAck:
+    """Per-(round, server) write acknowledgement (fault tolerance).
+
+    Sent server → rank after a collective write round's data has been
+    applied, confirming receipt of that rank's :class:`CollSegment`.
+    Only emitted when fault injection is armed — the fault-free path
+    relies on the composite request's :class:`IOResponse` alone, and
+    acks there would perturb the bit-identical baseline.
+    """
+
+    coll_id: tuple
+    round_no: int
+    server: int
+    client: str
+    trace_id: int = -1
+    trace_parent: int = -1
+
+    def wire_bytes(self, costs) -> int:
+        return costs.header_bytes
+
+
+@dataclass
+class CollFetch:
+    """Read-side retransmit request (fault tolerance).
+
+    A rank whose expected read :class:`CollSegment` timed out asks the
+    server to resend it from its retained scatter buffer.  Header-only
+    control traffic; armed fault configs only.
+    """
+
+    coll_id: tuple
+    round_no: int
+    server: int
+    client: str
+    reply_to: Any = None
+    trace_id: int = -1
+    trace_parent: int = -1
+
+    def wire_bytes(self, costs) -> int:
+        return costs.header_bytes
 
 
 @dataclass

@@ -24,7 +24,14 @@ from ..storage import BlockStore, DiskModel
 from .collective import CollectiveState
 from .expand_cache import ExpansionCache
 from .pipeline import TenantAdmission, make_scheduler, preplan_collective
-from .protocol import OP_COLL, CollSegment, IORequest
+from .protocol import (
+    OP_COLL,
+    CollAck,
+    CollFetch,
+    CollSegment,
+    IORequest,
+    IOResponse,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from .system import PVFS
@@ -53,7 +60,14 @@ class IOServer:
         )
         self.scheduler = make_scheduler(self)
         #: Collective-round assembly (segment/request rendezvous).
-        self.coll = CollectiveState()
+        #: Armed fault configs keep a deep done-ring: a round must stay
+        #: replayable (idempotent request resends, segment re-acks) for
+        #: as long as some rank's recovery ladder may still replay it.
+        self.coll = CollectiveState(
+            keep_done=4096
+            if cfg.faults is not None and cfg.faults.can_inject
+            else 4
+        )
         #: Weighted-fair admission (``PVFSConfig.tenants``); ``None``
         #: keeps the paper's FIFO mailbox admission bit for bit.
         self.admission = (
@@ -112,6 +126,11 @@ class IOServer:
         exactly like any other stage); threaded daemons hand it to a
         pool worker so the dispatcher keeps draining the mailbox.
         """
+        if req.preplanned is not None:
+            # an idempotent resend (or a duplicated delivery) of a
+            # still-parked round: the plan is already computed and
+            # charged — re-planning would double-bill the daemon CPU
+            return
         if self.scheduler.concurrent:
             self.system.env.process(
                 self._preplan_worker(req),
@@ -130,6 +149,121 @@ class IOServer:
                 yield from preplan_collective(self, req)
         finally:
             sched.threads.release()
+
+    # ------------------------------------------------------------------
+    # collective data path (shared by both receive loops)
+    # ------------------------------------------------------------------
+    def _ingest_coll_segment(self, seg: CollSegment):
+        """File one collective data segment.
+
+        Returns the released parked request *message* when the segment
+        completes a waiting round, else ``None``.  A crashed daemon
+        loses segments exactly like requests; a replay of an
+        already-applied round is re-acknowledged from the done-ring
+        (armed fault configs only — ``reply_to`` is never set
+        otherwise) because the original ack was evidently lost.
+        """
+        env = self.system.env
+        net = self.system.net
+        costs = self.system.costs
+        faults = self.system.faults
+        if faults.enabled and faults.server_down(self.index):
+            faults.crash_drop(self.index, seg)
+            return None
+        yield env.timeout(costs.per_message_cpu)
+        done = self.coll.done_round((seg.coll_id, seg.round_no))
+        if done is not None:
+            if seg.reply_to is not None:
+                ack = CollAck(
+                    seg.coll_id,
+                    seg.round_no,
+                    self.index,
+                    seg.client,
+                    trace_id=seg.trace_id,
+                    trace_parent=seg.trace_parent,
+                )
+                yield from net.send(
+                    self.mailbox,
+                    seg.reply_to,
+                    ack.wire_bytes(costs),
+                    payload=ack,
+                    pace=False,
+                    faultable=True,
+                )
+            return None
+        return self.coll.ingest_segment(seg)
+
+    def _serve_coll_fetch(self, fetch: CollFetch):
+        """Re-send a retained read scatter segment (armed configs only).
+
+        A miss is deliberately silent: the round has not been served
+        yet (its composite request is itself in some rank's recovery
+        ladder), and the asking rank's fetch ladder simply retries.
+        No stage time or stage span is charged — retransmit service is
+        receive-loop work, mirroring the segment ingest cost model.
+        """
+        env = self.system.env
+        net = self.system.net
+        costs = self.system.costs
+        faults = self.system.faults
+        if faults.enabled and faults.server_down(self.index):
+            faults.crash_drop(self.index, fetch)
+            return
+        yield env.timeout(costs.per_message_cpu)
+        seg = self.coll.fetch_read_segment(
+            (fetch.coll_id, fetch.round_no, fetch.client)
+        )
+        if seg is not None:
+            yield from net.send(
+                self.mailbox,
+                fetch.reply_to,
+                seg.wire_bytes(costs),
+                payload=seg,
+                pace=False,
+                faultable=True,
+            )
+
+    def _replay_coll_request(self, req: IORequest):
+        """Replay the stored response of an already-applied write round.
+
+        Returns ``True`` when the request was consumed (response
+        replayed, or dropped by a crash window).  Reached only by
+        idempotent resends — the fault-free path never re-delivers a
+        request for a retired round — so the pipeline is never re-run
+        and no disk or stage work is double-charged.
+        """
+        if req.op_kind != OP_COLL or not req.is_write:
+            return False
+        done = self.coll.done_round((req.coll.coll_id, req.coll.round_no))
+        if done is None or done.resp is None:
+            return False
+        env = self.system.env
+        net = self.system.net
+        costs = self.system.costs
+        faults = self.system.faults
+        if faults.enabled and faults.server_down(self.index):
+            faults.crash_drop(self.index, req)
+            return True
+        yield env.timeout(costs.per_message_cpu)
+        # re-stamp with the incoming request's identity: a re-elected
+        # aggregator re-issues the round under a fresh req_id (and a
+        # fresh rpc span), and the replay must resolve *that* waiter
+        resp = IOResponse(
+            req.req_id,
+            nbytes=done.resp.nbytes,
+            accesses_built=done.resp.accesses_built,
+            trace_id=req.trace_id,
+            trace_parent=req.trace_parent,
+        )
+        yield from net.send(
+            self.mailbox,
+            req.reply_to,
+            resp.wire_bytes(costs, True),
+            payload=resp,
+            pace=False,
+            faultable=True,
+        )
+        return True
 
     # ------------------------------------------------------------------
     def run(self):
@@ -155,13 +289,15 @@ class IOServer:
             if isinstance(payload, CollSegment):
                 # collective data path: file the segment; when it
                 # completes a parked round, release that request
-                yield env.timeout(costs.per_message_cpu)
-                ready = self.coll.ingest_segment(payload)
+                ready = yield from self._ingest_coll_segment(payload)
                 if ready is not None:
                     queue_wait = 0.0
                     if self.system.tracer.enabled or self.system.metrics.enabled:
                         queue_wait = env.now - ready.t_enqueued
                     yield from self.scheduler.submit(ready.payload, queue_wait)
+                continue
+            if isinstance(payload, CollFetch):
+                yield from self._serve_coll_fetch(payload)
                 continue
             req: IORequest = payload
             faults = self.system.faults
@@ -169,6 +305,8 @@ class IOServer:
                 # crashed daemon: the request is silently discarded —
                 # the client's RPC timer is the only recovery path
                 faults.crash_drop(self.index, req)
+                continue
+            if (yield from self._replay_coll_request(req)):
                 continue
             if (
                 req.op_kind == OP_COLL
@@ -225,12 +363,16 @@ class IOServer:
                     )
                     continue
                 if isinstance(payload, CollSegment):
-                    yield env.timeout(costs.per_message_cpu)
-                    ready = self.coll.ingest_segment(payload)
+                    ready = yield from self._ingest_coll_segment(payload)
                     if ready is not None:
                         adm.enqueue(ready)
                     continue
+                if isinstance(payload, CollFetch):
+                    yield from self._serve_coll_fetch(payload)
+                    continue
                 req = payload
+                if (yield from self._replay_coll_request(req)):
+                    continue
                 if (
                     req.op_kind == OP_COLL
                     and req.is_write

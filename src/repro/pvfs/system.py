@@ -74,6 +74,12 @@ class PVFS:
             else NULL_FAULTS
         )
         self.net.faults = self.faults
+        #: Shared per-collective failover state (armed fault configs
+        #: only): coll_id -> :class:`~repro.pvfs.collective.CollRecovery`.
+        #: Ranks on one simulated cluster coordinate re-elections and
+        #: the completion gate through it; rank 0 clears the entry at
+        #: the collective's closing barrier.
+        self.coll_recovery: dict = {}
 
         self.servers: list[IOServer] = []
         for i in range(config.n_servers):

@@ -226,12 +226,22 @@ def reconcile(recorder: TraceRecorder, stage_times, tol: float = 1e-9) -> List[s
     aggregate from ``summarize_servers``).  Returns the list of stages
     whose span sum diverges beyond ``tol`` — empty means the trace and
     the counter accounting agree.
+
+    The collective ``server.scatter`` spans (read scatter and, under
+    armed fault configs, the write-round acks) count toward ``respond``
+    — they charge ``StageTimes.respond`` but are recorded under their
+    own span name, exactly as in
+    :func:`repro.trace.critical.reconcile_blame`.
     """
-    summary = summarize_trace(recorder)["server_stages_s"]
+    full = summarize_trace(recorder)
+    summary = full["server_stages_s"]
+    scatter = full["by_name"].get("server.scatter", {"seconds": 0.0})
     bad = []
     for name, field in SERVER_STAGE_SPANS.items():
         want = getattr(stage_times, field)
         got = summary[field]
+        if field == "respond":
+            got += scatter["seconds"]
         if abs(want - got) > tol:
             bad.append(f"{field}: spans={got!r} stage_times={want!r}")
     return bad

@@ -4,6 +4,9 @@ import copy
 
 import pytest
 
+# the module-scoped sweep fixtures run paper-scale cells
+pytestmark = pytest.mark.slow
+
 from repro.bench.characteristics import METHOD_ORDER
 from repro.bench.collectivecmd import (
     QUICK_SPEC,

@@ -142,6 +142,7 @@ class TestCompareDirWiring:
         assert not any(d.regression for d in deltas)
         assert any("BENCH_hotpaths.json" in n for n in notes)
 
+    @pytest.mark.slow  # full-size hotpaths re-collection, ~1 min
     def test_update_baselines_writes_hotpaths(self, tmp_path):
         written = update_baselines(
             tmp_path,

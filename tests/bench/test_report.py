@@ -32,6 +32,19 @@ class TestFormatMib:
         assert format_mib(77.2 * MIB) == "77.2 MB"
         assert format_mib(412 * MIB) == "412 MB"
 
+    def test_precision_boundaries(self):
+        # exactly at the 10/100 MiB precision steps
+        assert format_mib(10 * MIB) == "10.0 MB"
+        assert format_mib(100 * MIB) == "100 MB"
+        # just below each boundary keeps the finer precision
+        assert format_mib(10 * MIB - 1).endswith(" MB")
+        assert format_mib(10 * MIB - 1).count(".") == 1
+
+    def test_tiny_nonzero_rounds_to_zero_display(self):
+        # a single byte is nonzero, so it renders (as 0.00 MB) rather
+        # than being mistaken for "no data" (the dash)
+        assert format_mib(1) == "0.00 MB"
+
 
 def sample_rows():
     return [
@@ -69,6 +82,33 @@ class TestCharacteristics:
         b = render_characteristics("T", sample_rows())
         assert a == b
 
+    def test_unknown_method_label_falls_back_to_name(self):
+        rows = [
+            CharacteristicsRow(
+                "experimental_io", True,
+                desired_bytes=MIB, accessed_bytes=MIB,
+                io_ops=1, resent_bytes=0.0,
+            )
+        ]
+        assert "experimental_io" in render_characteristics("T", rows)
+
+    def test_fractional_and_thousands_op_counts(self):
+        rows = [
+            CharacteristicsRow(
+                "posix", True,
+                desired_bytes=MIB, accessed_bytes=MIB,
+                io_ops=90_000, resent_bytes=0.0,
+            ),
+            CharacteristicsRow(
+                "list_io", True,
+                desired_bytes=MIB, accessed_bytes=MIB,
+                io_ops=1408.5, resent_bytes=0.0,
+            ),
+        ]
+        text = render_characteristics("T", rows)
+        assert "90,000" in text     # integral: grouped, no decimals
+        assert "1,408.5" in text    # per-client mean: one decimal
+
 
 class TestRenderFigure:
     def fig(self):
@@ -87,6 +127,21 @@ class TestRenderFigure:
 
     def test_unit_override(self):
         assert "(aggregate ops)" in render_figure(self.fig(), unit="ops")
+
+    def test_empty_figure_renders_header_only(self):
+        fig = FigureSeries("empty", "clients")
+        text = render_figure(fig)
+        lines = text.splitlines()
+        assert lines[0].startswith("empty")
+        assert len(lines) == 3  # title, rule, column header — no rows
+
+    def test_sparse_series_dash_per_missing_cell(self):
+        fig = FigureSeries("sparse", "clients")
+        fig.add("posix", 6, 1.0)
+        fig.add("datatype_io", 12, 2.0)  # posix has no x=12 point
+        text = render_figure(fig)
+        row12 = next(l for l in text.splitlines() if l.startswith("        12"))
+        assert "—" in row12 and "2.0" in row12
 
 
 @pytest.fixture(scope="module")

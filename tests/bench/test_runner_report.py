@@ -114,6 +114,7 @@ class TestCLI:
         assert "983,040" in out
         assert "15,360" in out
 
+    @pytest.mark.slow  # paper-scale Table 2 cell, ~30 s
     def test_table2_single_dim(self, capsys):
         rc = cli_main(["table2", "--clients-per-dim", "2"])
         assert rc == 0

@@ -6,7 +6,44 @@ import numpy as np
 import pytest
 from hypothesis import strategies as st
 
+from repro.bench.characteristics import METHOD_ORDER
 from repro.regions import Regions
+
+# ----------------------------------------------------------------------
+# the method × scheduler matrix
+# ----------------------------------------------------------------------
+#: Every access method, in the canonical bench order — the five
+#: independent paths plus collective datatype I/O.
+ALL_METHODS = tuple(METHOD_ORDER)
+
+#: Methods reachable through ``read_at``/``write_at`` (independent
+#: calls).  Two-phase and collective datatype I/O are collective-only.
+INDEPENDENT_READ_METHODS = ("posix", "data_sieving", "list_io", "datatype_io")
+INDEPENDENT_WRITE_METHODS = ("posix", "list_io", "datatype_io")
+
+#: Methods reachable through ``read_at_all``/``write_at_all``.
+COLLECTIVE_METHODS = ("two_phase", "collective_dtype")
+
+#: Server scheduler configurations every cross-cutting matrix covers:
+#: the serial daemon loop and the threaded stage pipeline.
+SCHEDULERS = {"serial": {}, "threaded": {"server_threads": 4}}
+
+
+@pytest.fixture(
+    params=[
+        pytest.param((m, cfg), id=f"{m}-{name}")
+        for m in ALL_METHODS
+        for name, cfg in SCHEDULERS.items()
+    ]
+)
+def method_scheduler(request):
+    """``(method, config_kwargs)`` across all six methods × both
+    schedulers — the shared matrix for cross-cutting identity tests.
+
+    The config kwargs splat into ``PVFSConfig`` (empty for the serial
+    scheduler, ``server_threads=4`` for the threaded one).
+    """
+    return request.param
 
 
 # ----------------------------------------------------------------------

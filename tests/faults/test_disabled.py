@@ -10,8 +10,6 @@ Two bit-identity bars, mirroring tracing and metrics:
   nothing — still float-equality identical.
 """
 
-import pytest
-
 from repro.bench.runner import run_workload
 from repro.bench.workloads import TileWorkload
 from repro.faults import NULL_FAULTS, FaultConfig
@@ -19,8 +17,6 @@ from repro.pvfs import PVFS, PVFSConfig
 from repro.simulation import Environment
 
 from ..conftest import assert_bit_identical
-
-METHODS = ["posix", "list_io", "datatype_io", "two_phase"]
 
 
 def run(method, faults, **kw):
@@ -30,15 +26,15 @@ def run(method, faults, **kw):
     )
 
 
-@pytest.mark.parametrize("method", METHODS)
-def test_inert_config_is_bit_identical(method):
-    assert_bit_identical(run(method, FaultConfig()), run(method, None))
-
-
-def test_inert_config_with_threads_is_bit_identical():
-    on = run("datatype_io", FaultConfig(), server_threads=4)
-    off = run("datatype_io", None, server_threads=4)
-    assert_bit_identical(on, off)
+def test_inert_config_is_bit_identical(method_scheduler):
+    # the full six-method × scheduler matrix: an armed-but-inert config
+    # must not move any method's simulation by a single ULP
+    method, sched = method_scheduler
+    on = run(method, FaultConfig(), **sched)
+    off = run(method, None, **sched)
+    assert on.supported == off.supported
+    if on.supported:
+        assert_bit_identical(on, off)
 
 
 def test_inert_config_injects_nothing():

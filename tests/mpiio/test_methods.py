@@ -23,8 +23,11 @@ from repro.mpiio import File, Hints, SimMPI
 from repro.pvfs import PVFS, PVFSConfig
 from repro.simulation import Environment
 
-READ_METHODS = ["posix", "data_sieving", "list_io", "datatype_io"]
-WRITE_METHODS = ["posix", "list_io", "datatype_io"]  # sieving needs locks
+from ..conftest import (
+    COLLECTIVE_METHODS,
+    INDEPENDENT_READ_METHODS as READ_METHODS,
+    INDEPENDENT_WRITE_METHODS as WRITE_METHODS,
+)
 
 
 def run_ranks(n, rank_main, ppn=2, **cfg):
@@ -142,7 +145,8 @@ def test_write_then_read_all_methods(scenario, write_method):
 
 
 @pytest.mark.parametrize("scenario", SCENARIOS, ids=lambda s: s.name)
-def test_collective_write_read(scenario):
+@pytest.mark.parametrize("coll_method", COLLECTIVE_METHODS)
+def test_collective_write_read(scenario, coll_method):
     n = scenario.n_ranks
 
     def rank_main(ctx):
@@ -152,9 +156,9 @@ def test_collective_write_read(scenario):
         mt = scenario.memtype(ctx.rank)
         buf = scenario.payload(ctx.rank)
         f.set_view(disp, BYTE, ft)
-        yield from f.write_at_all(0, mt, 1, buf, method="two_phase")
+        yield from f.write_at_all(0, mt, 1, buf, method=coll_method)
         out = np.zeros_like(buf)
-        yield from f.read_at_all(0, mt, 1, out, method="two_phase")
+        yield from f.read_at_all(0, mt, 1, out, method=coll_method)
         regions = mt.flatten()
         return np.array_equal(regions.gather(out), regions.gather(buf))
 

@@ -3,8 +3,8 @@
 The tentpole acceptance bar of the hot-path vectorization: switching
 ``REPRO_SCALAR_FALLBACK`` on may change wall-clock only — every
 simulated figure (elapsed, ops, bytes, per-stage server time, network
-totals) must agree to the last ULP for all five access methods under
-both scheduler configurations.
+totals) must agree to the last ULP for the shared ``method_scheduler``
+matrix (all six access methods × both scheduler configurations).
 """
 
 import numpy as np
@@ -19,8 +19,6 @@ from repro.vectorize import scalar_mode
 
 from ..conftest import assert_bit_identical
 
-METHODS = ["posix", "data_sieving", "two_phase", "list_io", "datatype_io"]
-
 
 def _workload(name):
     if name == "tile":
@@ -29,15 +27,15 @@ def _workload(name):
 
 
 @pytest.mark.parametrize("workload", ["tile", "flash"])
-@pytest.mark.parametrize("threads", [1, 4])
-@pytest.mark.parametrize("method", METHODS)
-def test_scalar_fallback_bit_identical(method, threads, workload):
+def test_scalar_fallback_bit_identical(method_scheduler, workload):
+    method, sched = method_scheduler
+
     def run():
         return run_workload(
             _workload(workload),
             method,
             phantom=True,
-            config=PVFSConfig(n_servers=4, server_threads=threads),
+            config=PVFSConfig(n_servers=4, **sched),
         )
 
     fast = run()

@@ -142,6 +142,74 @@ class TestLockManager:
         with pytest.raises(ValueError):
             fs.env.run(p)
 
+    def test_inverted_range_rejected(self):
+        fs = make_fs()
+
+        def main():
+            yield from fs.locks.acquire(1, 10, 5, "c")
+
+        p = fs.env.process(main())
+        with pytest.raises(ValueError):
+            fs.env.run(p)
+
+    def test_adjacent_ranges_do_not_conflict(self):
+        """Half-open ranges: [0,10) and [10,20) touch but never overlap."""
+        from repro.pvfs.locks import LockToken
+
+        held = LockToken(1, 0, 10, "a")
+        assert not held.overlaps(1, 10, 20)
+        assert held.overlaps(1, 9, 10)
+        assert not held.overlaps(2, 0, 10)  # other handle
+
+    def test_release_drains_only_nonconflicting_waiters(self):
+        """One release grants every FIFO waiter it can — but a waiter
+        conflicting with a just-granted earlier waiter stays queued."""
+        fs = make_fs()
+        env = fs.env
+        order = []
+
+        def holder():
+            tok = yield from fs.locks.acquire(1, 0, 10, "h")
+            yield env.timeout(10)
+            fs.locks.release(tok)
+
+        def w(name, lo, hi, t):
+            yield env.timeout(t)
+            tok = yield from fs.locks.acquire(1, lo, hi, name)
+            order.append((name, env.now))
+            yield env.timeout(5)
+            fs.locks.release(tok)
+
+        env.process(holder())
+        env.process(w("w1", 5, 15, 1))   # conflicts with holder
+        env.process(w("w2", 12, 18, 2))  # conflicts with w1, not holder
+        env.process(w("w3", 20, 30, 3))  # conflicts with nobody
+        env.run()
+        # at t=10 the holder releases: w1 and w3 drain, w2 must wait
+        # for w1's release at t=15
+        assert order == [("w1", 10), ("w3", 10), ("w2", 15)]
+
+    def test_acquisitions_counts_queued_grants_too(self):
+        fs = make_fs()
+        env = fs.env
+
+        def holder():
+            tok = yield from fs.locks.acquire(1, 0, 10, "h")
+            yield env.timeout(2)
+            fs.locks.release(tok)
+
+        def waiter():
+            yield env.timeout(1)
+            tok = yield from fs.locks.acquire(1, 0, 10, "w")
+            fs.locks.release(tok)
+
+        env.process(holder())
+        env.process(waiter())
+        env.run()
+        assert fs.locks.acquisitions == 2
+        assert fs.locks.contentions == 1
+        assert fs.locks.held_count == 0
+
 
 class TestSievingWritesWithLocking:
     """The extension path: sieving writes on a locking file system."""
